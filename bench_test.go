@@ -1,0 +1,287 @@
+// Package repro's root benchmark harness regenerates every table and
+// figure of the paper's evaluation (see EXPERIMENTS.md for the recorded
+// outputs):
+//
+//	BenchmarkTable1          — Table 1 (E1): search space parameters of
+//	                           TPC-H Q5/Q7/Q8/Q9, with and without
+//	                           Cartesian products, 10,000 uniform samples
+//	BenchmarkFigure4         — Figure 4 (E2): cost distribution histograms
+//	                           of the lower 50% of sampled scaled costs
+//	BenchmarkCounting        — E3: the paper's "counting never exceeded
+//	                           one second" claim
+//	BenchmarkUnranking       — E4: unranking is a small fraction of
+//	                           counting
+//	BenchmarkSampling        — drawing uniform plans (rank + unrank)
+//	BenchmarkOptimize        — full optimization (memo + winners)
+//	BenchmarkExecuteOptimal  — the execution engine on the optimal plan
+//	BenchmarkVerifySampled   — E8: the multi-plan verification harness
+//	BenchmarkPruningAblation — E9: space retained by a pruning optimizer
+//
+// Sample sizes follow the paper (10,000) for Table 1/Figure 4; override
+// with REPRO_BENCH_SAMPLES for quicker runs.
+package repro
+
+import (
+	"fmt"
+	"math/big"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/rules"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+var (
+	benchOnce sync.Once
+	benchDB   *storage.DB
+	benchErr  error
+)
+
+func benchSamples() int {
+	if s := os.Getenv("REPRO_BENCH_SAMPLES"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 10000
+}
+
+func db(b *testing.B) *storage.DB {
+	benchOnce.Do(func() {
+		benchDB, benchErr = tpch.NewDB(0.001, 42)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchDB
+}
+
+func prepare(b *testing.B, query string, cross bool) *engine.Prepared {
+	b.Helper()
+	sqlText, ok := tpch.Query(query)
+	if !ok {
+		b.Fatalf("unknown query %s", query)
+	}
+	p, err := engine.New(db(b), engine.WithCartesian(cross)).Prepare(sqlText)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkCounting measures the paper's Section 3.2 post-processing:
+// materializing links and counting the full space (E3). The paper reports
+// under one second even for large queries; per-op times here are
+// milliseconds.
+func BenchmarkCounting(b *testing.B) {
+	for _, q := range tpch.PaperQueries() {
+		for _, cross := range []bool{false, true} {
+			name := q
+			if cross {
+				name += "_cross"
+			}
+			b.Run(name, func(b *testing.B) {
+				p := prepare(b, q, cross)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s, err := core.Prepare(p.Opt.Memo)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if s.Count().Sign() <= 0 {
+						b.Fatal("empty space")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkUnranking measures Section 3.3 (E4): extracting one plan by
+// number. The paper: "unranking takes only a small fraction of the time
+// needed for counting".
+func BenchmarkUnranking(b *testing.B) {
+	for _, q := range tpch.PaperQueries() {
+		b.Run(q, func(b *testing.B) {
+			p := prepare(b, q, false)
+			smp, err := p.Sampler(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-draw ranks so only Unrank is measured.
+			ranks := make([]*big.Int, 1024)
+			for i := range ranks {
+				ranks[i] = smp.NextRank()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Unrank(ranks[i%len(ranks)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSampling draws uniform plans (rank generation + unranking).
+func BenchmarkSampling(b *testing.B) {
+	for _, q := range []string{"Q5", "Q8"} {
+		b.Run(q, func(b *testing.B) {
+			p := prepare(b, q, false)
+			smp, err := p.Sampler(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := smp.Next(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimize measures the substrate: memo expansion, cardinality
+// annotation, and winner computation.
+func BenchmarkOptimize(b *testing.B) {
+	e := engine.New(db(b))
+	eCross := engine.New(db(b), engine.WithCartesian(true))
+	for _, cfg := range []struct {
+		name  string
+		eng   *engine.Engine
+		query string
+	}{
+		{"Q5", e, "Q5"},
+		{"Q9", e, "Q9"},
+		{"Q8_cross", eCross, "Q8"},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			sqlText, _ := tpch.Query(cfg.query)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cfg.eng.Prepare(sqlText); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable1 regenerates the paper's Table 1 (E1) and logs it.
+func BenchmarkTable1(b *testing.B) {
+	cfg := experiments.Config{SampleSize: benchSamples(), Seed: 1}
+	var rendered string
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1All(db(b), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rendered = experiments.FormatTable1(rows)
+	}
+	b.Log("\n" + rendered)
+}
+
+// BenchmarkFigure4 regenerates the four panels of Figure 4 (E2).
+func BenchmarkFigure4(b *testing.B) {
+	cfg := experiments.Config{SampleSize: benchSamples(), Seed: 1}
+	for _, q := range tpch.PaperQueries() {
+		b.Run(q, func(b *testing.B) {
+			var plot *experiments.Figure4Plot
+			for i := 0; i < b.N; i++ {
+				var err error
+				plot, err = experiments.Figure4(db(b), q, false, 40, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.Log("\n" + plot.Render())
+		})
+	}
+}
+
+// BenchmarkExecuteOptimal measures the Volcano engine on the optimizer's
+// plan for the two executable mid-size queries.
+func BenchmarkExecuteOptimal(b *testing.B) {
+	for _, q := range []string{"Q3", "Q10"} {
+		b.Run(q, func(b *testing.B) {
+			p := prepare(b, q, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Execute(p.OptimalPlan()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerifySampled measures the Section 4 harness (E8): execute a
+// uniform sample of plans and compare results.
+func BenchmarkVerifySampled(b *testing.B) {
+	sqlText, _ := tpch.Query("Q10")
+	for i := 0; i < b.N; i++ {
+		report, err := experiments.Verify(db(b), sqlText, 100, 5, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(report.Mismatches) != 0 {
+			b.Fatalf("mismatches: %v", report.Mismatches)
+		}
+	}
+}
+
+// BenchmarkPruningAblation runs E9 and logs the full-vs-retained counts.
+func BenchmarkPruningAblation(b *testing.B) {
+	sqlText, _ := tpch.Query("Q5")
+	var ab *experiments.PruningAblation
+	for i := 0; i < b.N; i++ {
+		var err error
+		ab, err = experiments.Prune(db(b), sqlText, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log(fmt.Sprintf("Q5: full space %s plans, pruning optimizer retains %s", ab.Full, ab.Retained))
+}
+
+// BenchmarkRuleAblation quantifies how much each implementation rule
+// contributes to the space: it counts Q5's plans with one rule disabled
+// at a time and logs the sizes (the design-choice ablation of DESIGN.md).
+func BenchmarkRuleAblation(b *testing.B) {
+	sqlText, _ := tpch.Query("Q5")
+	type variant struct {
+		name   string
+		mutate func(*rules.Config)
+	}
+	variants := []variant{
+		{"full", func(*rules.Config) {}},
+		{"no_mergejoin", func(c *rules.Config) { c.EnableMergeJoin = false }},
+		{"no_hashjoin", func(c *rules.Config) { c.EnableHashJoin = false }},
+		{"no_nljoin", func(c *rules.Config) { c.EnableNLJoin = false }},
+		{"no_lookupjoin", func(c *rules.Config) { c.EnableIndexNLJoin = false }},
+		{"no_indexscan", func(c *rules.Config) { c.EnableIndexScan = false }},
+		{"no_streamagg", func(c *rules.Config) { c.EnableStreamAgg = false }},
+	}
+	var report strings.Builder
+	for i := 0; i < b.N; i++ {
+		report.Reset()
+		for _, v := range variants {
+			cfg := rules.Default()
+			v.mutate(&cfg)
+			p, err := engine.New(db(b), engine.WithRules(cfg)).Prepare(sqlText)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Fprintf(&report, "%-14s %s plans\n", v.name, p.Count())
+		}
+	}
+	b.Log("\nQ5 space size by rule ablation:\n" + report.String())
+}

@@ -1,0 +1,153 @@
+// Command planlab is the interactive face of the reproduction: it
+// optimizes a query against a generated TPC-H database, counts the plans
+// in the search space (Section 3 of the paper), and can dump the MEMO,
+// explain the optimal plan, unrank specific plan numbers, sample plans
+// uniformly, and execute any of them.
+//
+// Examples:
+//
+//	planlab -query Q5 -count
+//	planlab -query Q9 -useplan 123456 -execute
+//	planlab -query Q7 -sample 5
+//	planlab -sql "SELECT ... OPTION (USEPLAN 8)" -execute
+//	planlab -query Q3 -dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/tpch"
+)
+
+func main() {
+	var (
+		sf      = flag.Float64("sf", 0.001, "TPC-H scale factor")
+		seed    = flag.Int64("seed", 42, "data generator seed")
+		query   = flag.String("query", "", "named TPC-H query (Q3, Q5, Q6, Q7, Q8, Q9, Q10)")
+		sqlText = flag.String("sql", "", "raw SQL text (overrides -query)")
+		cross   = flag.Bool("cross", false, "allow Cartesian products in the join space")
+		count   = flag.Bool("count", false, "print the number of plans")
+		dump    = flag.Bool("dump", false, "dump the MEMO structure")
+		explain = flag.Bool("explain", false, "print the optimal plan and its rank")
+		jsonOut = flag.Bool("json", false, "dump the counted space (groups, operators, counts, links) as JSON")
+		useplan = flag.String("useplan", "", "unrank this plan number and print it")
+		sample  = flag.Int("sample", 0, "sample this many plans uniformly and print them")
+		sseed   = flag.Int64("sample-seed", 1, "sampling seed")
+		execute = flag.Bool("execute", false, "execute the selected plan (optimal, -useplan, or USEPLAN option)")
+	)
+	flag.Parse()
+	if err := run(*sf, *seed, *query, *sqlText, *cross, *count, *dump, *explain, *jsonOut, *useplan, *sample, *sseed, *execute); err != nil {
+		fmt.Fprintln(os.Stderr, "planlab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sf float64, seed int64, query, sqlText string, cross, count, dump, explain, jsonOut bool,
+	useplan string, sample int, sseed int64, execute bool) error {
+
+	if sqlText == "" {
+		if query == "" {
+			return fmt.Errorf("provide -query (one of %s) or -sql", strings.Join(tpch.QueryNames(), ", "))
+		}
+		q, ok := tpch.Query(query)
+		if !ok {
+			return fmt.Errorf("unknown query %q; available: %s", query, strings.Join(tpch.QueryNames(), ", "))
+		}
+		sqlText = q
+	}
+
+	db, err := tpch.NewDB(sf, seed)
+	if err != nil {
+		return err
+	}
+	e := engine.New(db, engine.WithCartesian(cross))
+	p, err := e.Prepare(sqlText)
+	if err != nil {
+		return err
+	}
+
+	st := p.Opt.Memo.Stats()
+	fmt.Printf("space: %s plans | %d groups, %d logical + %d physical operators (%d enforcers)\n",
+		p.Count(), st.Groups, st.LogicalOps, st.PhysicalOps, st.EnforcerOps)
+
+	if count {
+		fmt.Printf("N = %s\n", p.Count())
+	}
+	if dump {
+		fmt.Print(p.Opt.Memo.Dump())
+	}
+	if jsonOut {
+		blob, err := p.Space.ExportJSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(blob))
+	}
+	if explain {
+		rank, err := p.OptimalRank()
+		if err != nil {
+			return err
+		}
+		tree, err := p.Explain(p.OptimalPlan())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("optimal plan (cost %.2f, rank %s):\n%s", p.OptimalCost(), rank, tree)
+	}
+	if useplan != "" {
+		r, ok := new(big.Int).SetString(useplan, 10)
+		if !ok {
+			return fmt.Errorf("invalid plan number %q", useplan)
+		}
+		pl, err := p.Unrank(r)
+		if err != nil {
+			return err
+		}
+		sc, err := p.ScaledCost(pl)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("plan %s (scaled cost %.3f):\n%s", r, sc, pl)
+	}
+	if sample > 0 {
+		smp, err := p.Sampler(sseed)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < sample; i++ {
+			r, pl, err := smp.Next()
+			if err != nil {
+				return err
+			}
+			sc, err := p.ScaledCost(pl)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("--- sampled plan %s (scaled cost %.3f)\n%s", r, sc, pl)
+		}
+	}
+	if execute {
+		chosen, err := p.ChosenPlan()
+		if err != nil {
+			return err
+		}
+		if useplan != "" {
+			r, _ := new(big.Int).SetString(useplan, 10)
+			chosen, err = p.Unrank(r)
+			if err != nil {
+				return err
+			}
+		}
+		res, err := p.Execute(chosen)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s(%d rows)\n", res, len(res.Rows))
+	}
+	return nil
+}

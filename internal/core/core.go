@@ -1,0 +1,210 @@
+// Package core implements the paper's contribution (Section 3): counting
+// the execution plans encoded in a MEMO, unranking integers into plans,
+// ranking plans back into integers, exhaustive enumeration, and uniform
+// random sampling.
+//
+// The key idea is a bijection between 0..N-1 and the N plans of the
+// space. After optimization the MEMO is frozen; Prepare materializes, for
+// every physical operator v and child slot i, the list of candidate child
+// operators w(v)[i] — the operators of the child's group whose delivered
+// ordering satisfies what v requires of that slot (Section 3.1). Counting
+// is then a bottom-up product-of-sums (Section 3.2):
+//
+//	b_v(i) = Σ_j N(w(v)[i][j])      alternatives for child i
+//	B_v(k) = Π_{i<=k} b_v(i)        combined choices of first k children
+//	N(v)   = 1 if v is a leaf, else B_v(|v|)
+//	N      = Σ_{v in root group} N(v)
+//
+// and unranking decomposes a rank into a root-operator choice plus one
+// sub-rank per child slot in the mixed-radix system with digit bases
+// b_v(i) (Section 3.3). All arithmetic uses math/big: Table 1's spaces
+// reach 4.4·10^12 plans and grow beyond int64 for larger queries.
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/memo"
+	"repro/internal/plan"
+)
+
+var bigOne = big.NewInt(1)
+
+// Option configures Prepare.
+type Option func(*config)
+
+type config struct {
+	keep func(*memo.Expr) bool
+}
+
+// WithFilter restricts the space to operators for which keep returns
+// true. The pruning ablation uses it to count the plans a discarding
+// optimizer would retain; tests use it to carve sub-spaces.
+func WithFilter(keep func(*memo.Expr) bool) Option {
+	return func(c *config) { c.keep = keep }
+}
+
+// exprInfo is the materialized link structure of one operator: the
+// candidate lists per child slot, the per-slot alternative counts b_v(i)
+// with their prefix sums (for rank/unrank selection), and N(v).
+type exprInfo struct {
+	expr   *memo.Expr
+	cands  [][]*memo.Expr
+	b      []*big.Int   // b[i] = Σ N over cands[i]
+	prefix [][]*big.Int // prefix[i][j] = Σ_{k<j} N(cands[i][k])
+	n      *big.Int     // N(expr)
+}
+
+// Space is a frozen, counted search space. It is immutable after Prepare
+// and safe for concurrent Unrank/Rank calls; create one Sampler per
+// goroutine for sampling.
+type Space struct {
+	Memo *memo.Memo
+
+	info    []*exprInfo // indexed by memo.Expr.ID
+	rootOps []*memo.Expr
+	prefix  []*big.Int // prefix sums of N over rootOps
+	total   *big.Int
+}
+
+// Prepare materializes links and counts the space. It is the
+// post-processing step the paper describes as having negligible overhead:
+// linear in the number of operators in the MEMO.
+func Prepare(m *memo.Memo, opts ...Option) (*Space, error) {
+	cfg := config{keep: func(*memo.Expr) bool { return true }}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if m.Root == nil {
+		return nil, fmt.Errorf("core: memo has no root group")
+	}
+	maxID := 0
+	for _, g := range m.Groups {
+		for _, e := range g.Exprs {
+			if e.ID > maxID {
+				maxID = e.ID
+			}
+		}
+	}
+	s := &Space{Memo: m, info: make([]*exprInfo, maxID+1)}
+
+	// Count every kept physical operator (bottom-up via memoized
+	// recursion; the structure is acyclic because enforcers take only
+	// non-enforcers of their own group and all other operators reference
+	// strictly earlier layers).
+	for _, g := range m.Groups {
+		for _, e := range g.Physical {
+			if !cfg.keep(e) {
+				continue
+			}
+			if _, err := s.count(e, &cfg); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	s.total = new(big.Int)
+	s.prefix = []*big.Int{new(big.Int)} // prefix[0] = 0
+	for _, e := range m.Root.Physical {
+		if !cfg.keep(e) {
+			continue
+		}
+		n := s.info[e.ID].n
+		if n.Sign() == 0 {
+			continue // cannot form a complete plan; covers no ranks
+		}
+		s.rootOps = append(s.rootOps, e)
+		s.total = new(big.Int).Add(s.total, n)
+		s.prefix = append(s.prefix, new(big.Int).Set(s.total))
+	}
+	return s, nil
+}
+
+func (s *Space) count(e *memo.Expr, cfg *config) (*big.Int, error) {
+	if info := s.info[e.ID]; info != nil {
+		return info.n, nil
+	}
+	info := &exprInfo{expr: e}
+	s.info[e.ID] = info // leaves have N=1 set below; set early is safe (acyclic)
+
+	// Materialize candidate lists (Section 3.1). Enforcers draw from the
+	// non-enforcer operators of their own group with no ordering demand;
+	// everything else draws from each child group's operators filtered by
+	// the prefix-satisfaction test on delivered vs required orderings.
+	var slots [][]*memo.Expr
+	if e.IsEnforcer() {
+		var cands []*memo.Expr
+		for _, c := range e.Group.NonEnforcers() {
+			if cfg.keep(c) {
+				cands = append(cands, c)
+			}
+		}
+		slots = [][]*memo.Expr{cands}
+	} else {
+		slots = make([][]*memo.Expr, len(e.Children))
+		for i, cg := range e.Children {
+			req := plan.RequiredOf(e, i)
+			var cands []*memo.Expr
+			for _, c := range cg.Physical {
+				if cfg.keep(c) && c.Delivered.Satisfies(req) {
+					cands = append(cands, c)
+				}
+			}
+			slots[i] = cands
+		}
+	}
+	info.cands = slots
+
+	// N(v) = Π b_v(i) with b_v(i) = Σ N(w); leaves have N(v) = 1.
+	info.n = new(big.Int).Set(bigOne)
+	info.b = make([]*big.Int, len(slots))
+	info.prefix = make([][]*big.Int, len(slots))
+	for i, cands := range slots {
+		b := new(big.Int)
+		prefix := make([]*big.Int, 0, len(cands)+1)
+		prefix = append(prefix, new(big.Int))
+		for _, c := range cands {
+			nc, err := s.count(c, cfg)
+			if err != nil {
+				return nil, err
+			}
+			b = new(big.Int).Add(b, nc)
+			prefix = append(prefix, new(big.Int).Set(b))
+		}
+		info.b[i] = b
+		info.prefix[i] = prefix
+		info.n.Mul(info.n, b)
+	}
+	return info.n, nil
+}
+
+// Count returns N, the number of complete execution plans the space
+// encodes. The returned value must not be mutated.
+func (s *Space) Count() *big.Int { return s.total }
+
+// CountFor returns N(v) for a specific operator — the number of plans
+// rooted in it (Figure 3's per-operator annotations). Zero for operators
+// filtered out of the space.
+func (s *Space) CountFor(e *memo.Expr) *big.Int {
+	if e.ID < len(s.info) && s.info[e.ID] != nil {
+		return s.info[e.ID].n
+	}
+	return new(big.Int)
+}
+
+// RootOperators returns the root-group operators that contribute plans,
+// in the order their rank ranges are laid out.
+func (s *Space) RootOperators() []*memo.Expr { return s.rootOps }
+
+// OperatorCount reports how many operators were counted — the paper's
+// complexity claim is that counting visits each exactly once.
+func (s *Space) OperatorCount() int {
+	n := 0
+	for _, info := range s.info {
+		if info != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math/big"
+
+	"repro/internal/plan"
+)
+
+// Enumerate visits every plan of the space in rank order, calling yield
+// with each (rank, plan) until yield returns false or the space is
+// exhausted. This is the paper's exhaustive generation mode, used "when
+// the space of alternatives is small enough for exhaustive testing".
+func (s *Space) Enumerate(yield func(r *big.Int, p *plan.Node) bool) error {
+	r := new(big.Int)
+	for r.Cmp(s.total) < 0 {
+		p, err := s.Unrank(r)
+		if err != nil {
+			return err
+		}
+		if !yield(new(big.Int).Set(r), p) {
+			return nil
+		}
+		r.Add(r, bigOne)
+	}
+	return nil
+}
+
+// EnumerateRange visits plans with ranks in [lo, hi) in order, for
+// slicing very large spaces into testable chunks.
+func (s *Space) EnumerateRange(lo, hi *big.Int, yield func(r *big.Int, p *plan.Node) bool) error {
+	r := new(big.Int).Set(lo)
+	for r.Cmp(hi) < 0 && r.Cmp(s.total) < 0 {
+		p, err := s.Unrank(r)
+		if err != nil {
+			return err
+		}
+		if !yield(new(big.Int).Set(r), p) {
+			return nil
+		}
+		r.Add(r, bigOne)
+	}
+	return nil
+}
+
+// All collects every plan of the space; callers must check Count first —
+// this is intended for the small spaces of unit tests and exhaustive
+// verification runs.
+func (s *Space) All() ([]*plan.Node, error) {
+	if !s.total.IsInt64() {
+		return nil, errTooLarge(s.total)
+	}
+	out := make([]*plan.Node, 0, s.total.Int64())
+	err := s.Enumerate(func(_ *big.Int, p *plan.Node) bool {
+		out = append(out, p)
+		return true
+	})
+	return out, err
+}
+
+func errTooLarge(n *big.Int) error {
+	return &SpaceTooLargeError{N: new(big.Int).Set(n)}
+}
+
+// SpaceTooLargeError reports an attempt to materialize a space whose size
+// exceeds what exhaustive enumeration can handle; callers should fall
+// back to sampling, which is the paper's point.
+type SpaceTooLargeError struct{ N *big.Int }
+
+func (e *SpaceTooLargeError) Error() string {
+	return "core: space holds " + e.N.String() + " plans; enumerate a range or sample instead"
+}

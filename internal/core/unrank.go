@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/memo"
+	"repro/internal/plan"
+)
+
+// Unrank constructs the plan with rank r, for r in [0, N). This is the
+// paper's Section 3.3: the root operator is selected by cumulative
+// counts, its local rank is decomposed into per-child sub-ranks in the
+// mixed-radix system with bases b_v(i), and each sub-rank is unranked
+// recursively in the child's candidate list. Unranking is O(m) big-int
+// operations for a plan of m operators.
+func (s *Space) Unrank(r *big.Int) (*plan.Node, error) {
+	if r.Sign() < 0 || r.Cmp(s.total) >= 0 {
+		return nil, fmt.Errorf("core: rank %s out of range [0, %s)", r, s.total)
+	}
+	// Select the root operator: the first covers ranks 0..N(v1)-1, the
+	// second N(v1)..N(v1)+N(v2)-1, and so on.
+	k := selectByPrefix(s.prefix, r)
+	e := s.rootOps[k]
+	local := new(big.Int).Sub(r, s.prefix[k])
+	return s.unrankExpr(e, local)
+}
+
+// unrankExpr builds the plan rooted at e with local rank rl in [0, N(e)).
+func (s *Space) unrankExpr(e *memo.Expr, rl *big.Int) (*plan.Node, error) {
+	info := s.info[e.ID]
+	if info == nil {
+		return nil, fmt.Errorf("core: operator %s is not part of this space", e.Name())
+	}
+	if len(info.cands) == 0 {
+		if rl.Sign() != 0 {
+			return nil, fmt.Errorf("core: leaf operator %s given non-zero local rank %s", e.Name(), rl)
+		}
+		return &plan.Node{Expr: e}, nil
+	}
+	node := &plan.Node{Expr: e, Children: make([]*plan.Node, len(info.cands))}
+	// Little-endian mixed-radix decomposition: rl = Σ_i s(i)·B_v(i-1)
+	// with B_v(0) = 1, which is exactly the paper's
+	// s(i) = ⌊R(i)/B(i-1)⌋, R(i) = R(i+1) mod B(i) computed iteratively.
+	rem := new(big.Int).Set(rl)
+	sub := new(big.Int)
+	for i := range info.cands {
+		if info.b[i].Sign() == 0 {
+			return nil, fmt.Errorf("core: operator %s has no candidates for child %d", e.Name(), i)
+		}
+		rem.DivMod(rem, info.b[i], sub)
+		j := selectByPrefix(info.prefix[i], sub)
+		childLocal := new(big.Int).Sub(sub, info.prefix[i][j])
+		child, err := s.unrankExpr(info.cands[i][j], childLocal)
+		if err != nil {
+			return nil, err
+		}
+		node.Children[i] = child
+	}
+	if rem.Sign() != 0 {
+		return nil, fmt.Errorf("core: local rank overflow at operator %s", e.Name())
+	}
+	return node, nil
+}
+
+// selectByPrefix returns the index k with prefix[k] <= r < prefix[k+1].
+// prefix is strictly structured (prefix[0] = 0, last = total), so a
+// linear scan is exact; candidate lists are short (a handful of physical
+// operators per group), making binary search unnecessary.
+func selectByPrefix(prefix []*big.Int, r *big.Int) int {
+	k := 0
+	for k+1 < len(prefix)-1 && prefix[k+1].Cmp(r) <= 0 {
+		k++
+	}
+	return k
+}
+
+// Rank computes the integer the given plan maps to — the inverse of
+// Unrank. It is used by property tests (Rank(Unrank(r)) == r) and to
+// answer the paper's "what number did the optimizer's own choice get?".
+func (s *Space) Rank(n *plan.Node) (*big.Int, error) {
+	for k, e := range s.rootOps {
+		if e == n.Expr {
+			local, err := s.rankExpr(n)
+			if err != nil {
+				return nil, err
+			}
+			return local.Add(local, s.prefix[k]), nil
+		}
+	}
+	return nil, fmt.Errorf("core: plan root %s is not a root-group operator of this space", n.Expr.Name())
+}
+
+func (s *Space) rankExpr(n *plan.Node) (*big.Int, error) {
+	info := s.info[n.Expr.ID]
+	if info == nil {
+		return nil, fmt.Errorf("core: operator %s is not part of this space", n.Expr.Name())
+	}
+	if len(n.Children) != len(info.cands) {
+		return nil, fmt.Errorf("core: operator %s has %d child slots, plan node has %d",
+			n.Expr.Name(), len(info.cands), len(n.Children))
+	}
+	rl := new(big.Int)
+	base := new(big.Int).Set(bigOne)
+	for i, child := range n.Children {
+		j := -1
+		for idx, c := range info.cands[i] {
+			if c == child.Expr {
+				j = idx
+				break
+			}
+		}
+		if j < 0 {
+			return nil, fmt.Errorf("core: %s is not a valid child %d of %s in this space",
+				child.Expr.Name(), i, n.Expr.Name())
+		}
+		childLocal, err := s.rankExpr(child)
+		if err != nil {
+			return nil, err
+		}
+		sub := new(big.Int).Add(info.prefix[i][j], childLocal)
+		rl.Add(rl, sub.Mul(sub, base))
+		base.Mul(base, info.b[i])
+	}
+	return rl, nil
+}

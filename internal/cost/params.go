@@ -1,0 +1,45 @@
+// Package cost provides cardinality estimation from catalog statistics
+// and the cost model used both to pick the optimal plan (the paper's
+// "most cost effective operator in the root group") and to cost arbitrary
+// sampled plans for the cost-distribution experiments of Section 5.
+//
+// The model is a textbook I/O + CPU model. The paper argues (contra
+// Ioannidis and Kang) that the qualitative shape of cost distributions is
+// not an artifact of a particular cost model; what this model must get
+// right is the *structure*: scans pay I/O, hash joins pay linear build
+// and probe, merge joins need sorted inputs, nested-loop joins re-execute
+// their inner child per outer row, and sorts pay n·log n. Those structural
+// choices, not the constants, produce the enormous cost spreads of
+// Table 1.
+package cost
+
+// Params holds the tunable constants of the cost model.
+type Params struct {
+	PageBytes int // storage page size
+
+	SeqPageCost  float64 // sequential page read
+	RandPageCost float64 // random page read (index traversal)
+
+	CPUTuple   float64 // producing/copying one tuple
+	CPUEval    float64 // evaluating one predicate or projection on a row
+	CPUBuild   float64 // inserting one row into a hash table
+	CPUProbe   float64 // probing a hash table with one row
+	CPUCompare float64 // one comparison during sorting or merging
+
+	MemoryPages float64 // working memory before hash/sort spill penalties
+}
+
+// Default returns the parameter set used throughout the experiments.
+func Default() Params {
+	return Params{
+		PageBytes:    8192,
+		SeqPageCost:  1.0,
+		RandPageCost: 4.0,
+		CPUTuple:     0.01,
+		CPUEval:      0.0025,
+		CPUBuild:     0.02,
+		CPUProbe:     0.01,
+		CPUCompare:   0.015,
+		MemoryPages:  1024,
+	}
+}

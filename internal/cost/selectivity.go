@@ -1,0 +1,314 @@
+package cost
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/data"
+)
+
+// Selectivity constants for predicates the statistics cannot resolve.
+const (
+	defaultEqSel    = 0.005
+	defaultRangeSel = 1.0 / 3.0
+	likePrefixSel   = 0.05
+	likeContainsSel = 0.10
+	likeComplexSel  = 0.05
+	minSelectivity  = 1e-9
+)
+
+// Estimator derives cardinalities for every group of a query's memo from
+// base-table statistics. Estimates are properties of a relation subset —
+// independent of join order — so every operator of a group sees the same
+// output cardinality, as the MEMO requires.
+type Estimator struct {
+	Q      *algebra.Query
+	P      Params
+	byCard map[algebra.RelSet]float64
+}
+
+// NewEstimator returns an estimator over a bound query.
+func NewEstimator(q *algebra.Query, p Params) *Estimator {
+	return &Estimator{Q: q, P: p, byCard: make(map[algebra.RelSet]float64)}
+}
+
+// BaseCard is the estimated row count of base relation i after its
+// pushed-down filters.
+func (e *Estimator) BaseCard(i int) float64 {
+	rel := e.Q.Rels[i]
+	card := float64(rel.Table.RowCount)
+	for _, f := range rel.Filters {
+		card *= e.PredSelectivity(f)
+	}
+	if card < 1 {
+		card = 1
+	}
+	return card
+}
+
+// SetCard is the estimated cardinality of joining the relations in s:
+// the product of filtered base cardinalities and the selectivities of all
+// join predicates applicable within s. Memoized per subset.
+func (e *Estimator) SetCard(s algebra.RelSet) float64 {
+	if c, ok := e.byCard[s]; ok {
+		return c
+	}
+	card := 1.0
+	for _, i := range s.Indices() {
+		card *= e.BaseCard(i)
+	}
+	for _, p := range e.Q.Preds {
+		if p.Refs.SubsetOf(s) {
+			card *= e.PredSelectivity(p.Expr)
+		}
+	}
+	if card < 1 {
+		card = 1
+	}
+	e.byCard[s] = card
+	return card
+}
+
+// AggCard estimates the number of groups the aggregation produces from
+// inCard input rows: the product of the grouping keys' distinct counts,
+// capped by the input cardinality.
+func (e *Estimator) AggCard(inCard float64) float64 {
+	if len(e.Q.GroupBy) == 0 {
+		return 1 // scalar aggregate
+	}
+	groups := 1.0
+	for i := range e.Q.GroupBy {
+		groups *= e.keyNDV(&e.Q.GroupBy[i])
+	}
+	if groups > inCard {
+		groups = inCard
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	return groups
+}
+
+func (e *Estimator) keyNDV(g *algebra.GroupExpr) float64 {
+	switch expr := g.Expr.(type) {
+	case *algebra.ColRefExpr:
+		if st, ok := e.colStats(expr.Col); ok && st.NDV > 0 {
+			return float64(st.NDV)
+		}
+	case *algebra.YearExpr:
+		// YEAR(col): distinct years spanned by the column.
+		if cr, ok := expr.X.(*algebra.ColRefExpr); ok {
+			if st, ok := e.colStats(cr.Col); ok && !st.Min.IsNull() && !st.Max.IsNull() {
+				years := float64(data.Year(st.Max.Int())-data.Year(st.Min.Int())) + 1
+				if years >= 1 {
+					return years
+				}
+			}
+		}
+	}
+	return 10 // unknown computed key
+}
+
+func (e *Estimator) colStats(c algebra.Column) (catalog.ColumnStats, bool) {
+	if c.Rel < 0 || c.Rel >= len(e.Q.Rels) {
+		return catalog.ColumnStats{}, false
+	}
+	rel := e.Q.Rels[c.Rel]
+	if c.ColIdx < 0 || c.ColIdx >= len(rel.Table.Columns) {
+		return catalog.ColumnStats{}, false
+	}
+	return rel.Table.Columns[c.ColIdx].Stats, true
+}
+
+// PredSelectivity estimates the fraction of rows a boolean expression
+// keeps. Conjunctions multiply, disjunctions use inclusion-exclusion, and
+// leaf comparisons consult NDV and min/max statistics.
+func (e *Estimator) PredSelectivity(s algebra.Scalar) float64 {
+	sel := e.predSel(s)
+	if sel < minSelectivity {
+		sel = minSelectivity
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+func (e *Estimator) predSel(s algebra.Scalar) float64 {
+	switch t := s.(type) {
+	case *algebra.BinaryExpr:
+		switch t.Op {
+		case algebra.OpAnd:
+			return e.predSel(t.L) * e.predSel(t.R)
+		case algebra.OpOr:
+			a, b := e.predSel(t.L), e.predSel(t.R)
+			return a + b - a*b
+		case algebra.OpEq:
+			return e.eqSel(t)
+		case algebra.OpNe:
+			return 1 - e.eqSel(&algebra.BinaryExpr{Op: algebra.OpEq, L: t.L, R: t.R})
+		case algebra.OpLt, algebra.OpLe, algebra.OpGt, algebra.OpGe:
+			return e.rangeSel(t)
+		}
+	case *algebra.NotExpr:
+		return 1 - e.predSel(t.X)
+	case *algebra.LikeExpr:
+		sel := likeSel(t.Pattern)
+		if t.Negate {
+			return 1 - sel
+		}
+		return sel
+	case *algebra.ConstExpr:
+		if t.Val.K == data.KindBool {
+			if t.Val.Bool() {
+				return 1
+			}
+			return 0
+		}
+	}
+	return defaultRangeSel
+}
+
+func likeSel(pattern string) float64 {
+	switch algebra.ClassifyLike(pattern) {
+	case algebra.LikeExact:
+		return defaultEqSel
+	case algebra.LikePrefix, algebra.LikeSuffix:
+		return likePrefixSel
+	case algebra.LikeContains:
+		return likeContainsSel
+	default:
+		return likeComplexSel
+	}
+}
+
+func (e *Estimator) eqSel(t *algebra.BinaryExpr) float64 {
+	lc, lok := t.L.(*algebra.ColRefExpr)
+	rc, rok := t.R.(*algebra.ColRefExpr)
+	switch {
+	case lok && rok:
+		// Equi-join: 1/max(NDV left, NDV right).
+		ln, rn := e.ndvOf(lc.Col), e.ndvOf(rc.Col)
+		n := ln
+		if rn > n {
+			n = rn
+		}
+		if n < 1 {
+			return defaultEqSel
+		}
+		return 1 / n
+	case lok:
+		return e.colEqConstSel(lc.Col)
+	case rok:
+		return e.colEqConstSel(rc.Col)
+	}
+	// YEAR(col) = const and similar computed equalities.
+	if yr, ok := t.L.(*algebra.YearExpr); ok {
+		return e.yearEqSel(yr)
+	}
+	if yr, ok := t.R.(*algebra.YearExpr); ok {
+		return e.yearEqSel(yr)
+	}
+	return defaultEqSel
+}
+
+func (e *Estimator) yearEqSel(yr *algebra.YearExpr) float64 {
+	if cr, ok := yr.X.(*algebra.ColRefExpr); ok {
+		if st, ok := e.colStats(cr.Col); ok && !st.Min.IsNull() && !st.Max.IsNull() {
+			years := float64(data.Year(st.Max.Int())-data.Year(st.Min.Int())) + 1
+			if years >= 1 {
+				return 1 / years
+			}
+		}
+	}
+	return defaultEqSel
+}
+
+func (e *Estimator) colEqConstSel(c algebra.Column) float64 {
+	n := e.ndvOf(c)
+	if n < 1 {
+		return defaultEqSel
+	}
+	return 1 / n
+}
+
+func (e *Estimator) ndvOf(c algebra.Column) float64 {
+	if st, ok := e.colStats(c); ok && st.NDV > 0 {
+		return float64(st.NDV)
+	}
+	return 0
+}
+
+// rangeSel estimates col <op> const selectivity by linear interpolation
+// between the column's min and max.
+func (e *Estimator) rangeSel(t *algebra.BinaryExpr) float64 {
+	col, cref := t.L.(*algebra.ColRefExpr)
+	cst, cons := t.R.(*algebra.ConstExpr)
+	op := t.Op
+	if !cref || !cons {
+		// const <op> col: flip.
+		col, cref = t.R.(*algebra.ColRefExpr)
+		cst, cons = t.L.(*algebra.ConstExpr)
+		if !cref || !cons {
+			return defaultRangeSel
+		}
+		switch op {
+		case algebra.OpLt:
+			op = algebra.OpGt
+		case algebra.OpLe:
+			op = algebra.OpGe
+		case algebra.OpGt:
+			op = algebra.OpLt
+		case algebra.OpGe:
+			op = algebra.OpLe
+		}
+	}
+	st, ok := e.colStats(col.Col)
+	if !ok || st.Min.IsNull() || st.Max.IsNull() {
+		return defaultRangeSel
+	}
+	// Prefer the equi-depth histogram; fall back to min/max linear
+	// interpolation when none was collected.
+	fracBelow, haveHist := st.HistFractionBelow(cst.Val, numeric)
+	if !haveHist {
+		lo, hi := numeric(st.Min), numeric(st.Max)
+		v := numeric(cst.Val)
+		if hi <= lo {
+			return defaultRangeSel
+		}
+		fracBelow = (v - lo) / (hi - lo)
+	}
+	if fracBelow < 0 {
+		fracBelow = 0
+	}
+	if fracBelow > 1 {
+		fracBelow = 1
+	}
+	switch op {
+	case algebra.OpLt, algebra.OpLe:
+		return fracBelow
+	default:
+		return 1 - fracBelow
+	}
+}
+
+func numeric(v data.Value) float64 {
+	switch v.K {
+	case data.KindInt, data.KindDate, data.KindBool:
+		return float64(v.I)
+	case data.KindFloat:
+		return v.F
+	case data.KindString:
+		// Order-preserving-ish projection of the first bytes.
+		var x float64
+		for i := 0; i < 6; i++ {
+			var b byte
+			if i < len(v.S) {
+				b = v.S[i]
+			}
+			x = x*256 + float64(b)
+		}
+		return x
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,200 @@
+// Package engine is the public façade of the reproduction: it parses SQL,
+// optimizes it into a counted search space, and executes plans — either
+// the optimizer's choice, a plan selected by number through the paper's
+// OPTION (USEPLAN n) extension (Section 4), or plans drawn by uniform
+// sampling (Section 5).
+package engine
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/rules"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithCartesian toggles Cartesian products in the join-order space — the
+// switch between the two halves of the paper's Table 1.
+func WithCartesian(allow bool) Option {
+	return func(e *Engine) { e.opts.Rules.AllowCartesian = allow }
+}
+
+// WithRules replaces the whole rule configuration.
+func WithRules(cfg rules.Config) Option {
+	return func(e *Engine) { e.opts.Rules = cfg }
+}
+
+// WithCostParams replaces the cost model constants.
+func WithCostParams(p cost.Params) Option {
+	return func(e *Engine) { e.opts.Params = p }
+}
+
+// Engine plans and executes queries over one database.
+type Engine struct {
+	db   *storage.DB
+	opts opt.Options
+}
+
+// New returns an engine over db with the default full rule set.
+func New(db *storage.DB, options ...Option) *Engine {
+	e := &Engine{db: db, opts: opt.DefaultOptions()}
+	for _, o := range options {
+		o(e)
+	}
+	return e
+}
+
+// DB returns the engine's database.
+func (e *Engine) DB() *storage.DB { return e.db }
+
+// Prepared is a parsed, optimized, and counted query: the frozen search
+// space plus the optimal plan, ready for counting, unranking, sampling,
+// and execution.
+type Prepared struct {
+	SQL   string
+	Stmt  *sql.SelectStmt
+	Query *algebra.Query
+	Opt   *opt.Result
+	Space *core.Space
+
+	// UsePlan is the plan number from OPTION (USEPLAN n), nil if absent.
+	UsePlan *big.Int
+
+	engine *Engine
+}
+
+// Prepare parses, binds, optimizes, and counts a query.
+func (e *Engine) Prepare(sqlText string) (*Prepared, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	q, err := algebra.Build(stmt, e.db.Catalog())
+	if err != nil {
+		return nil, err
+	}
+	res, err := opt.Optimize(q, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	space, err := core.Prepare(res.Memo)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{SQL: sqlText, Stmt: stmt, Query: q, Opt: res, Space: space, engine: e}
+	if stmt.Option != nil {
+		n, ok := new(big.Int).SetString(stmt.Option.UsePlan, 10)
+		if !ok {
+			return nil, fmt.Errorf("engine: invalid USEPLAN number %q", stmt.Option.UsePlan)
+		}
+		if n.Sign() < 0 || n.Cmp(space.Count()) >= 0 {
+			return nil, fmt.Errorf("engine: USEPLAN %s out of range: query has %s plans", n, space.Count())
+		}
+		p.UsePlan = n
+	}
+	return p, nil
+}
+
+// Count returns the number of execution plans in the space.
+func (p *Prepared) Count() *big.Int { return p.Space.Count() }
+
+// OptimalPlan returns the optimizer's chosen plan.
+func (p *Prepared) OptimalPlan() *plan.Node { return p.Opt.Best }
+
+// OptimalCost returns the optimizer's estimate for its chosen plan; the
+// cost-distribution experiments normalize sampled costs by it.
+func (p *Prepared) OptimalCost() float64 { return p.Opt.BestCost }
+
+// OptimalRank answers "what number does the optimizer's own choice
+// carry?" by ranking the optimal plan.
+func (p *Prepared) OptimalRank() (*big.Int, error) { return p.Space.Rank(p.Opt.Best) }
+
+// Unrank returns plan number r.
+func (p *Prepared) Unrank(r *big.Int) (*plan.Node, error) { return p.Space.Unrank(r) }
+
+// UnrankInt is Unrank for small plan numbers.
+func (p *Prepared) UnrankInt(r int64) (*plan.Node, error) {
+	return p.Space.Unrank(big.NewInt(r))
+}
+
+// Sampler returns a deterministic uniform plan sampler.
+func (p *Prepared) Sampler(seed int64) (*core.Sampler, error) {
+	return p.Space.NewSampler(seed)
+}
+
+// PlanCost returns the modeled cost of an arbitrary plan from the space.
+func (p *Prepared) PlanCost(n *plan.Node) (float64, error) { return p.Opt.PlanCost(n) }
+
+// ScaledCost returns a plan's cost as a factor of the optimal plan's cost
+// (1.0 = the optimum), the normalization used in Table 1 and Figure 4.
+func (p *Prepared) ScaledCost(n *plan.Node) (float64, error) {
+	c, err := p.Opt.PlanCost(n)
+	if err != nil {
+		return 0, err
+	}
+	return c / p.Opt.BestCost, nil
+}
+
+// Execute runs a specific plan from this query's space.
+func (p *Prepared) Execute(n *plan.Node) (*exec.Result, error) {
+	return exec.Run(n, p.engine.db, p.Query)
+}
+
+// ChosenPlan returns the plan the statement selects: plan UsePlan when
+// OPTION (USEPLAN n) was given, the optimizer's choice otherwise.
+func (p *Prepared) ChosenPlan() (*plan.Node, error) {
+	if p.UsePlan != nil {
+		return p.Space.Unrank(p.UsePlan)
+	}
+	return p.Opt.Best, nil
+}
+
+// Run parses, optimizes, and executes a statement end to end, honoring
+// OPTION (USEPLAN n) exactly as Section 4 describes: the optimizer builds
+// the MEMO, the space is counted, and the requested plan is extracted and
+// executed instead of the optimizer's choice.
+func (e *Engine) Run(sqlText string) (*exec.Result, error) {
+	p, err := e.Prepare(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	chosen, err := p.ChosenPlan()
+	if err != nil {
+		return nil, err
+	}
+	return p.Execute(chosen)
+}
+
+// OutputOrdering maps the query's ORDER BY onto result column positions.
+// ok is false when the query has no ORDER BY or a key is not a projected
+// column (then order checking is not applicable).
+func (p *Prepared) OutputOrdering() (keyPos []int, desc []bool, ok bool) {
+	if p.Query.OrderBy.IsNone() {
+		return nil, nil, false
+	}
+	for _, oc := range p.Query.OrderBy {
+		found := -1
+		for i := range p.Query.Projections {
+			if p.Query.Projections[i].Out.ID == oc.Col {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, nil, false
+		}
+		keyPos = append(keyPos, found)
+		desc = append(desc, oc.Desc)
+	}
+	return keyPos, desc, true
+}

@@ -1,0 +1,334 @@
+package exec
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/data"
+	"repro/internal/memo"
+)
+
+// aggAcc accumulates one aggregate function.
+type aggAcc struct {
+	fn    algebra.AggFunc
+	kind  data.Kind
+	count int64
+	sumI  int64
+	sumF  float64
+	minV  data.Value
+	maxV  data.Value
+	seen  bool
+}
+
+func (a *aggAcc) add(v data.Value) error {
+	if v.IsNull() {
+		return nil // SQL aggregates ignore NULLs
+	}
+	a.count++
+	switch a.fn {
+	case algebra.AggSum, algebra.AggAvg:
+		if v.K == data.KindInt {
+			a.sumI += v.I
+			a.sumF += float64(v.I)
+		} else {
+			a.sumF += v.Float()
+		}
+	case algebra.AggMin, algebra.AggMax:
+		if !a.seen {
+			a.minV, a.maxV = v, v
+			a.seen = true
+			return nil
+		}
+		c, err := data.Compare(v, a.minV)
+		if err != nil {
+			return err
+		}
+		if c < 0 {
+			a.minV = v
+		}
+		c, err = data.Compare(v, a.maxV)
+		if err != nil {
+			return err
+		}
+		if c > 0 {
+			a.maxV = v
+		}
+	}
+	return nil
+}
+
+func (a *aggAcc) addCountStar() { a.count++ }
+
+func (a *aggAcc) final() data.Value {
+	switch a.fn {
+	case algebra.AggCount:
+		return data.NewInt(a.count)
+	case algebra.AggSum:
+		if a.count == 0 {
+			return data.Null()
+		}
+		if a.kind == data.KindInt {
+			return data.NewInt(a.sumI)
+		}
+		return data.NewFloat(a.sumF)
+	case algebra.AggAvg:
+		if a.count == 0 {
+			return data.Null()
+		}
+		return data.NewFloat(a.sumF / float64(a.count))
+	case algebra.AggMin:
+		if !a.seen {
+			return data.Null()
+		}
+		return a.minV
+	case algebra.AggMax:
+		if !a.seen {
+			return data.Null()
+		}
+		return a.maxV
+	}
+	return data.Null()
+}
+
+// aggIter implements both hash and stream aggregation. The stream variant
+// relies on its input being sorted on the grouping keys (the operator's
+// required ordering) and emits a group whenever the key changes; the hash
+// variant accumulates all groups in a table. Results are identical — the
+// verification harness depends on that.
+type aggIter struct {
+	child   Iterator
+	stream  bool
+	keyFns  []evalFunc
+	argFns  []evalFunc // nil entry = COUNT(*)
+	aggs    []*algebra.AggExpr
+	outCols int
+
+	// hash state
+	groups   map[string]int
+	order    []data.Row // group key values per group, insertion order
+	accs     [][]aggAcc
+	emitPos  int
+	prepared bool
+
+	// stream state
+	curKey  []data.Value
+	curAccs []aggAcc
+	haveCur bool
+	done    bool
+
+	// scalar aggregate (no GROUP BY): exactly one output row
+	scalar      bool
+	scalarDone  bool
+	scalarEmpty bool
+}
+
+func buildAgg(e *memo.Expr, q *algebra.Query, child Iterator, cs schema) (Iterator, schema, error) {
+	out := make(schema, 0, len(q.GroupBy)+len(q.Aggs))
+	keyFns := make([]evalFunc, 0, len(q.GroupBy))
+	for i := range q.GroupBy {
+		f, err := compile(q.GroupBy[i].Expr, cs)
+		if err != nil {
+			return nil, nil, err
+		}
+		keyFns = append(keyFns, f)
+		out = append(out, q.GroupBy[i].Out.ID)
+	}
+	argFns := make([]evalFunc, 0, len(q.Aggs))
+	for _, a := range q.Aggs {
+		if a.Arg == nil {
+			argFns = append(argFns, nil)
+		} else {
+			f, err := compile(a.Arg, cs)
+			if err != nil {
+				return nil, nil, err
+			}
+			argFns = append(argFns, f)
+		}
+		out = append(out, a.Out.ID)
+	}
+	it := &aggIter{
+		child:   child,
+		stream:  e.Op == memo.StreamAgg,
+		keyFns:  keyFns,
+		argFns:  argFns,
+		aggs:    q.Aggs,
+		outCols: len(out),
+		scalar:  len(q.GroupBy) == 0,
+	}
+	return it, out, nil
+}
+
+func (a *aggIter) newAccs() []aggAcc {
+	accs := make([]aggAcc, len(a.aggs))
+	for i, agg := range a.aggs {
+		accs[i] = aggAcc{fn: agg.Fn, kind: agg.Out.Kind}
+	}
+	return accs
+}
+
+func (a *aggIter) accumulate(accs []aggAcc, row data.Row) error {
+	for i := range accs {
+		if a.argFns[i] == nil {
+			accs[i].addCountStar()
+			continue
+		}
+		v, err := a.argFns[i](row)
+		if err != nil {
+			return err
+		}
+		if err := accs[i].add(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *aggIter) emitRow(keys []data.Value, accs []aggAcc) data.Row {
+	row := make(data.Row, 0, a.outCols)
+	row = append(row, keys...)
+	for i := range accs {
+		row = append(row, accs[i].final())
+	}
+	return row
+}
+
+func (a *aggIter) Open() error {
+	a.groups, a.order, a.accs = nil, nil, nil
+	a.emitPos, a.prepared = 0, false
+	a.curKey, a.curAccs, a.haveCur, a.done = nil, nil, false, false
+	a.scalarDone, a.scalarEmpty = false, false
+	return a.child.Open()
+}
+
+func (a *aggIter) Next() (data.Row, bool, error) {
+	if a.scalar {
+		return a.nextScalar()
+	}
+	if a.stream {
+		return a.nextStream()
+	}
+	return a.nextHash()
+}
+
+func (a *aggIter) nextScalar() (data.Row, bool, error) {
+	if a.scalarDone {
+		return nil, false, nil
+	}
+	accs := a.newAccs()
+	for {
+		row, ok, err := a.child.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		if err := a.accumulate(accs, row); err != nil {
+			return nil, false, err
+		}
+	}
+	a.scalarDone = true
+	return a.emitRow(nil, accs), true, nil
+}
+
+func (a *aggIter) nextHash() (data.Row, bool, error) {
+	if !a.prepared {
+		a.groups = make(map[string]int)
+		keys := make([]data.Value, len(a.keyFns))
+		for {
+			row, ok, err := a.child.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			for i, f := range a.keyFns {
+				v, err := f(row)
+				if err != nil {
+					return nil, false, err
+				}
+				keys[i] = v
+			}
+			k := hashKey(keys)
+			gi, ok := a.groups[k]
+			if !ok {
+				gi = len(a.order)
+				a.groups[k] = gi
+				a.order = append(a.order, append(data.Row(nil), keys...))
+				a.accs = append(a.accs, a.newAccs())
+			}
+			if err := a.accumulate(a.accs[gi], row); err != nil {
+				return nil, false, err
+			}
+		}
+		a.prepared = true
+		a.emitPos = 0
+	}
+	if a.emitPos >= len(a.order) {
+		return nil, false, nil
+	}
+	row := a.emitRow(a.order[a.emitPos], a.accs[a.emitPos])
+	a.emitPos++
+	return row, true, nil
+}
+
+func (a *aggIter) nextStream() (data.Row, bool, error) {
+	if a.done {
+		return nil, false, nil
+	}
+	keys := make([]data.Value, len(a.keyFns))
+	for {
+		row, ok, err := a.child.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			a.done = true
+			if a.haveCur {
+				return a.emitRow(a.curKey, a.curAccs), true, nil
+			}
+			return nil, false, nil
+		}
+		for i, f := range a.keyFns {
+			v, err := f(row)
+			if err != nil {
+				return nil, false, err
+			}
+			keys[i] = v
+		}
+		if !a.haveCur {
+			a.curKey = append(data.Row(nil), keys...)
+			a.curAccs = a.newAccs()
+			a.haveCur = true
+		} else if !sameKeys(a.curKey, keys) {
+			out := a.emitRow(a.curKey, a.curAccs)
+			a.curKey = append(data.Row(nil), keys...)
+			a.curAccs = a.newAccs()
+			if err := a.accumulate(a.curAccs, row); err != nil {
+				return nil, false, err
+			}
+			return out, true, nil
+		}
+		if err := a.accumulate(a.curAccs, row); err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+func sameKeys(a, b []data.Value) bool {
+	for i := range a {
+		an, bn := a[i].IsNull(), b[i].IsNull()
+		if an || bn {
+			if an != bn {
+				return false
+			}
+			continue // grouping treats NULLs as equal
+		}
+		c, err := data.Compare(a[i], b[i])
+		if err != nil || c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *aggIter) Close() error { return a.child.Close() }

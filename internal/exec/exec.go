@@ -1,0 +1,254 @@
+package exec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/data"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// Result is a fully materialized query result.
+type Result struct {
+	Columns []string
+	Rows    []data.Row
+}
+
+// Run executes a physical plan to completion.
+func Run(p *plan.Node, db *storage.DB, q *algebra.Query) (*Result, error) {
+	it, err := Build(p, db, q)
+	if err != nil {
+		return nil, err
+	}
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: q.OutputNames()}
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		res.Rows = append(res.Rows, row.Clone())
+	}
+	if err := it.Close(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Digest returns a canonical fingerprint of the result as an unordered
+// multiset of rows. Two semantically equivalent plans must produce equal
+// digests — this is the comparison the paper's verification methodology
+// performs across plans of one query. Floating-point values are rounded
+// to 9 significant digits so that aggregation order (which legitimately
+// differs between plans) does not flip the digest.
+func (r *Result) Digest() string {
+	lines := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		var sb strings.Builder
+		for j, v := range row {
+			if j > 0 {
+				sb.WriteByte(0x1f)
+			}
+			sb.WriteString(digestValue(v))
+		}
+		lines[i] = sb.String()
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{0x1e})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func digestValue(v data.Value) string {
+	if v.K == data.KindFloat {
+		return strconv.FormatFloat(v.F, 'g', 6, 64)
+	}
+	return v.String()
+}
+
+// Equivalent reports whether two results hold the same multiset of rows,
+// comparing floating-point values with relative tolerance relTol. This is
+// the comparison the verification harness uses: plans that aggregate in
+// different orders produce float sums differing in the last bits, which
+// any fixed-precision digest can round to different strings when a value
+// sits on a rounding boundary. A typical relTol is 1e-9.
+func (r *Result) Equivalent(o *Result, relTol float64) bool {
+	if len(r.Rows) != len(o.Rows) {
+		return false
+	}
+	a := sortedRows(r.Rows)
+	b := sortedRows(o.Rows)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if !valuesClose(a[i][j], b[i][j], relTol) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sortedRows(rows []data.Row) []data.Row {
+	out := append([]data.Row(nil), rows...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return rowKey(out[i]) < rowKey(out[j])
+	})
+	return out
+}
+
+func rowKey(row data.Row) string {
+	var sb strings.Builder
+	for j, v := range row {
+		if j > 0 {
+			sb.WriteByte(0x1f)
+		}
+		sb.WriteString(digestValue(v))
+	}
+	return sb.String()
+}
+
+func valuesClose(a, b data.Value, relTol float64) bool {
+	if a.K == data.KindFloat || b.K == data.KindFloat {
+		if a.IsNull() || b.IsNull() {
+			return a.IsNull() == b.IsNull()
+		}
+		x, y := a.Float(), b.Float()
+		diff := x - y
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := 1.0
+		if ax := abs(x); ax > scale {
+			scale = ax
+		}
+		if ay := abs(y); ay > scale {
+			scale = ay
+		}
+		return diff <= relTol*scale
+	}
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() == b.IsNull()
+	}
+	c, err := data.Compare(a, b)
+	return err == nil && c == 0
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// OrderedDigest fingerprints the result respecting row order, for
+// checking ORDER BY agreement between plans (keys only would be fairer
+// for ties; callers compare key columns when ties are possible).
+func (r *Result) OrderedDigest() string {
+	h := sha256.New()
+	for _, row := range r.Rows {
+		for j, v := range row {
+			if j > 0 {
+				h.Write([]byte{0x1f})
+			}
+			h.Write([]byte(digestValue(v)))
+		}
+		h.Write([]byte{0x1e})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// String renders the result as an aligned text table (for the CLI tools
+// and examples).
+func (r *Result) String() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	rendered := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells := make([]string, len(row))
+		for ci, v := range row {
+			cells[ci] = v.String()
+			if ci < len(widths) && len(cells[ci]) > widths[ci] {
+				widths[ci] = len(cells[ci])
+			}
+		}
+		rendered[ri] = cells
+	}
+	var sb strings.Builder
+	for i, c := range r.Columns {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		fmt.Fprintf(&sb, "%-*s", widths[i], c)
+	}
+	sb.WriteByte('\n')
+	for i := range r.Columns {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", widths[i]))
+	}
+	sb.WriteByte('\n')
+	for _, cells := range rendered {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&sb, "%-*s", w, c)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CheckOrdered verifies that the result's rows are ordered by the given
+// key positions and directions (non-strictly: ties are legal). The
+// verification harness applies it to every executed plan of an ORDER BY
+// query — all plans must agree not just on content but on order.
+func (r *Result) CheckOrdered(keyPos []int, desc []bool) error {
+	for i := 1; i < len(r.Rows); i++ {
+		prev, cur := r.Rows[i-1], r.Rows[i]
+		for k, p := range keyPos {
+			if p < 0 || p >= len(prev) || p >= len(cur) {
+				return fmt.Errorf("exec: sort key position %d out of range", p)
+			}
+			c, err := data.Compare(prev[p], cur[p])
+			if err != nil {
+				return fmt.Errorf("exec: comparing sort keys in row %d: %w", i, err)
+			}
+			if desc[k] {
+				c = -c
+			}
+			if c < 0 {
+				break // strictly ordered on this key; later keys free
+			}
+			if c > 0 {
+				return fmt.Errorf("exec: rows %d and %d violate the requested order on key %d", i-1, i, k)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/data"
+	"repro/internal/memo"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// Iterator is the Volcano iteration contract. Open (re)starts the
+// iterator: nested-loop joins re-Open their inner child once per outer
+// row, so every iterator must support repeated Open calls; materializing
+// iterators (sort, hash structures) may cache their state across re-Opens
+// because a sub-plan always produces the same rows within one execution.
+type Iterator interface {
+	Open() error
+	// Next returns the next row. ok is false at end of stream.
+	Next() (row data.Row, ok bool, err error)
+	Close() error
+}
+
+// Build compiles a physical plan into an iterator tree over db.
+func Build(p *plan.Node, db *storage.DB, q *algebra.Query) (Iterator, error) {
+	it, _, err := build(p, db, q)
+	return it, err
+}
+
+func build(n *plan.Node, db *storage.DB, q *algebra.Query) (Iterator, schema, error) {
+	e := n.Expr
+	switch e.Op {
+	case memo.TableScan, memo.IndexScan:
+		return buildScan(e, db)
+
+	case memo.HashJoin, memo.MergeJoin, memo.NestedLoopJoin:
+		left, ls, err := build(n.Children[0], db, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		right, rs, err := build(n.Children[1], db, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		return buildJoin(e, left, ls, right, rs)
+
+	case memo.IndexNLJoin:
+		outer, os, err := build(n.Children[0], db, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		return buildLookupJoin(e, db, outer, os)
+
+	case memo.HashAgg, memo.StreamAgg:
+		child, cs, err := build(n.Children[0], db, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		return buildAgg(e, q, child, cs)
+
+	case memo.Sort:
+		child, cs, err := build(n.Children[0], db, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		it, err := newSortIter(child, cs, e.SortOrder)
+		return it, cs, err
+
+	case memo.Result:
+		child, cs, err := build(n.Children[0], db, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		return buildResult(e, q, child, cs)
+
+	default:
+		return nil, nil, fmt.Errorf("exec: cannot execute operator %s (%s)", e.Op, e.Name())
+	}
+}
+
+// hashKey renders a key tuple canonically: numerically equal integers and
+// floats map to the same bucket, so hash buckets are a superset of the
+// equality predicate (which is always re-verified on match).
+func hashKey(vals []data.Value) string {
+	out := make([]byte, 0, 16*len(vals))
+	for _, v := range vals {
+		switch v.K {
+		case data.KindNull:
+			out = append(out, 'n')
+		case data.KindInt, data.KindDate, data.KindBool:
+			out = appendCanonicalNum(out, float64(v.I))
+		case data.KindFloat:
+			out = appendCanonicalNum(out, v.F)
+		case data.KindString:
+			out = append(out, 's')
+			out = append(out, v.S...)
+		}
+		out = append(out, 0)
+	}
+	return string(out)
+}
+
+func appendCanonicalNum(b []byte, f float64) []byte {
+	b = append(b, 'f')
+	return append(b, fmt.Sprintf("%g", f)...)
+}

@@ -1,0 +1,351 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/memo"
+)
+
+type joinPred func(data.Row) (bool, error)
+
+// buildJoin compiles one of the three join implementations. All three
+// verify the full predicate conjunction on each candidate pair, so hash
+// buckets and merge blocks act purely as accelerators — semantics are
+// identical across implementations, which is exactly what multi-plan
+// verification checks.
+func buildJoin(e *memo.Expr, left Iterator, ls schema, right Iterator, rs schema) (Iterator, schema, error) {
+	out := ls.concat(rs)
+	var pred joinPred
+	if preds := e.Join.AllPreds(); len(preds) > 0 {
+		exprs := make([]joinPred, 0, len(preds))
+		for _, p := range preds {
+			f, err := compilePredicate(p.Expr, out)
+			if err != nil {
+				return nil, nil, err
+			}
+			exprs = append(exprs, f)
+		}
+		pred = func(r data.Row) (bool, error) {
+			for _, f := range exprs {
+				ok, err := f(r)
+				if err != nil || !ok {
+					return false, err
+				}
+			}
+			return true, nil
+		}
+	}
+
+	switch e.Op {
+	case memo.NestedLoopJoin:
+		return &nlJoinIter{left: left, right: right, pred: pred}, out, nil
+	case memo.HashJoin, memo.MergeJoin:
+		lKeys, rKeys := e.Join.Keys(e.Children[0].RelSet)
+		if len(lKeys) == 0 {
+			return nil, nil, fmt.Errorf("exec: %s has no equi-join keys", e.Name())
+		}
+		lPos := make([]int, len(lKeys))
+		rPos := make([]int, len(rKeys))
+		for i := range lKeys {
+			lPos[i] = ls.pos(lKeys[i].ID)
+			rPos[i] = rs.pos(rKeys[i].ID)
+			if lPos[i] < 0 || rPos[i] < 0 {
+				return nil, nil, fmt.Errorf("exec: join key missing from child schema in %s", e.Name())
+			}
+		}
+		if e.Op == memo.HashJoin {
+			return &hashJoinIter{left: left, right: right, lPos: lPos, rPos: rPos, pred: pred}, out, nil
+		}
+		return &mergeJoinIter{left: left, right: right, lPos: lPos, rPos: rPos, pred: pred}, out, nil
+	default:
+		return nil, nil, fmt.Errorf("exec: %s is not a join", e.Op)
+	}
+}
+
+// nlJoinIter re-executes its inner (right) child once per outer row.
+type nlJoinIter struct {
+	left, right Iterator
+	pred        joinPred
+
+	leftRow   data.Row
+	rightOpen bool
+}
+
+func (j *nlJoinIter) Open() error {
+	j.leftRow = nil
+	j.rightOpen = false
+	return j.left.Open()
+}
+
+func (j *nlJoinIter) Next() (data.Row, bool, error) {
+	for {
+		if j.leftRow == nil {
+			lr, ok, err := j.left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.leftRow = lr
+			if err := j.right.Open(); err != nil {
+				return nil, false, err
+			}
+			j.rightOpen = true
+		}
+		rr, ok, err := j.right.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			j.leftRow = nil
+			continue
+		}
+		row := data.Concat(j.leftRow, rr)
+		if j.pred != nil {
+			keep, err := j.pred(row)
+			if err != nil {
+				return nil, false, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		return row, true, nil
+	}
+}
+
+func (j *nlJoinIter) Close() error {
+	if j.rightOpen {
+		if err := j.right.Close(); err != nil {
+			return err
+		}
+		j.rightOpen = false
+	}
+	return j.left.Close()
+}
+
+// hashJoinIter builds a hash table on the left child (as the cost model
+// assumes) and probes it with right rows. The build is cached across
+// re-Opens: a sub-plan produces identical rows within one execution, so a
+// nested-loop parent re-opening this join only restarts the probe side.
+type hashJoinIter struct {
+	left, right Iterator
+	lPos, rPos  []int
+	pred        joinPred
+
+	built   bool
+	buckets map[string][]data.Row
+
+	probeRow data.Row
+	bucket   []data.Row
+	bucketIx int
+}
+
+func (j *hashJoinIter) Open() error {
+	j.probeRow, j.bucket, j.bucketIx = nil, nil, 0
+	if !j.built {
+		if err := j.left.Open(); err != nil {
+			return err
+		}
+		j.buckets = make(map[string][]data.Row)
+		key := make([]data.Value, len(j.lPos))
+		for {
+			lr, ok, err := j.left.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			null := false
+			for i, p := range j.lPos {
+				key[i] = lr[p]
+				null = null || lr[p].IsNull()
+			}
+			if null {
+				continue // NULL keys never join
+			}
+			k := hashKey(key)
+			j.buckets[k] = append(j.buckets[k], lr)
+		}
+		if err := j.left.Close(); err != nil {
+			return err
+		}
+		j.built = true
+	}
+	return j.right.Open()
+}
+
+func (j *hashJoinIter) Next() (data.Row, bool, error) {
+	key := make([]data.Value, len(j.rPos))
+	for {
+		if j.bucketIx < len(j.bucket) {
+			lr := j.bucket[j.bucketIx]
+			j.bucketIx++
+			row := data.Concat(lr, j.probeRow)
+			if j.pred != nil {
+				keep, err := j.pred(row)
+				if err != nil {
+					return nil, false, err
+				}
+				if !keep {
+					continue
+				}
+			}
+			return row, true, nil
+		}
+		rr, ok, err := j.right.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		null := false
+		for i, p := range j.rPos {
+			key[i] = rr[p]
+			null = null || rr[p].IsNull()
+		}
+		if null {
+			continue
+		}
+		j.probeRow = rr
+		j.bucket = j.buckets[hashKey(key)]
+		j.bucketIx = 0
+	}
+}
+
+func (j *hashJoinIter) Close() error { return j.right.Close() }
+
+// mergeJoinIter merges two inputs sorted on the join keys (guaranteed by
+// the operator's required orderings). The right input is materialized so
+// duplicate-key blocks can be re-scanned per matching left row.
+type mergeJoinIter struct {
+	left, right Iterator
+	lPos, rPos  []int
+	pred        joinPred
+
+	rightRows []data.Row
+	loaded    bool
+
+	curLeft  data.Row
+	bstart   int
+	blockEnd int
+	blockPos int
+}
+
+func (j *mergeJoinIter) Open() error {
+	if !j.loaded {
+		if err := j.right.Open(); err != nil {
+			return err
+		}
+		for {
+			rr, ok, err := j.right.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			j.rightRows = append(j.rightRows, rr)
+		}
+		if err := j.right.Close(); err != nil {
+			return err
+		}
+		j.loaded = true
+	}
+	j.curLeft = nil
+	j.bstart, j.blockEnd, j.blockPos = 0, 0, 0
+	return j.left.Open()
+}
+
+func (j *mergeJoinIter) rightKeyCmp(idx int, lkey []data.Value) (int, error) {
+	rr := j.rightRows[idx]
+	for i, p := range j.rPos {
+		c, err := data.Compare(rr[p], lkey[i])
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return c, nil
+		}
+	}
+	return 0, nil
+}
+
+func (j *mergeJoinIter) Next() (data.Row, bool, error) {
+	lkey := make([]data.Value, len(j.lPos))
+	for {
+		if j.curLeft == nil {
+			lr, ok, err := j.left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			null := false
+			for i, p := range j.lPos {
+				lkey[i] = lr[p]
+				null = null || lr[p].IsNull()
+			}
+			if null {
+				continue
+			}
+			// Advance to the first right row with key >= left key; rows
+			// with NULL key components sort first and are stepped over.
+			for j.bstart < len(j.rightRows) {
+				if j.rightHasNullKey(j.bstart) {
+					j.bstart++
+					continue
+				}
+				c, err := j.rightKeyCmp(j.bstart, lkey)
+				if err != nil {
+					return nil, false, err
+				}
+				if c >= 0 {
+					break
+				}
+				j.bstart++
+			}
+			// Extend the block of equal keys.
+			j.blockEnd = j.bstart
+			for j.blockEnd < len(j.rightRows) {
+				c, err := j.rightKeyCmp(j.blockEnd, lkey)
+				if err != nil {
+					return nil, false, err
+				}
+				if c != 0 {
+					break
+				}
+				j.blockEnd++
+			}
+			if j.blockEnd == j.bstart {
+				continue // no matches for this left row
+			}
+			j.curLeft = lr
+			j.blockPos = j.bstart
+		}
+		for j.blockPos < j.blockEnd {
+			rr := j.rightRows[j.blockPos]
+			j.blockPos++
+			row := data.Concat(j.curLeft, rr)
+			if j.pred != nil {
+				keep, err := j.pred(row)
+				if err != nil {
+					return nil, false, err
+				}
+				if !keep {
+					continue
+				}
+			}
+			return row, true, nil
+		}
+		j.curLeft = nil
+	}
+}
+
+func (j *mergeJoinIter) rightHasNullKey(idx int) bool {
+	rr := j.rightRows[idx]
+	for _, p := range j.rPos {
+		if rr[p].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+func (j *mergeJoinIter) Close() error { return j.left.Close() }

@@ -1,0 +1,176 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/memo"
+	"repro/internal/storage"
+)
+
+// lookupJoinIter implements the index nested-loop join: for each outer
+// row it binary-searches the inner table's index ordering for the rows
+// whose leading key columns equal the outer key values, then applies the
+// inner relation's pushed-down filters and the join predicates.
+type lookupJoinIter struct {
+	outer Iterator
+
+	table    *storage.Table
+	perm     []int32
+	keyCols  []int // inner storage positions of the index prefix
+	outerPos []int // outer row positions of the lookup keys
+
+	innerFilter func(data.Row) (bool, error)
+	pred        joinPred
+
+	outerRow data.Row
+	lo, hi   int
+}
+
+func buildLookupJoin(e *memo.Expr, db *storage.DB, outer Iterator, os schema) (Iterator, schema, error) {
+	lk := e.Lookup
+	if lk == nil {
+		return nil, nil, fmt.Errorf("exec: %s has no lookup payload", e.Name())
+	}
+	table, err := db.Table(lk.Rel.Table.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	perm, err := table.IndexOrder(lk.Index)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	innerSchema := make(schema, len(lk.Rel.Cols))
+	for i, c := range lk.Rel.Cols {
+		innerSchema[i] = c.ID
+	}
+	out := os.concat(innerSchema)
+
+	it := &lookupJoinIter{outer: outer, table: table, perm: perm}
+	for i, oc := range lk.OuterKeys {
+		p := os.pos(oc.ID)
+		if p < 0 {
+			return nil, nil, fmt.Errorf("exec: lookup key %s missing from outer schema in %s", oc.Name, e.Name())
+		}
+		it.outerPos = append(it.outerPos, p)
+		it.keyCols = append(it.keyCols, lk.InnerKeys[i].ColIdx)
+	}
+
+	if f := lk.Rel.FilterExpr(); f != nil {
+		filter, err := compilePredicate(f, innerSchema)
+		if err != nil {
+			return nil, nil, err
+		}
+		it.innerFilter = filter
+	}
+	if preds := e.Join.AllPreds(); len(preds) > 0 {
+		fns := make([]func(data.Row) (bool, error), 0, len(preds))
+		for _, p := range preds {
+			f, err := compilePredicate(p.Expr, out)
+			if err != nil {
+				return nil, nil, err
+			}
+			fns = append(fns, f)
+		}
+		it.pred = func(r data.Row) (bool, error) {
+			for _, f := range fns {
+				ok, err := f(r)
+				if err != nil || !ok {
+					return false, err
+				}
+			}
+			return true, nil
+		}
+	}
+	return it, out, nil
+}
+
+func (j *lookupJoinIter) Open() error {
+	j.outerRow = nil
+	j.lo, j.hi = 0, 0
+	return j.outer.Open()
+}
+
+// seek positions [lo, hi) on the rows whose index prefix equals keys.
+// The permutation is sorted by the index key columns, so both bounds are
+// binary searches; keyCmp treats NULL as smallest, consistent with the
+// ordering used to build the permutation.
+func (j *lookupJoinIter) seek(keys []data.Value) (int, int, error) {
+	var seekErr error
+	cmpAt := func(i int) int {
+		row := j.table.Rows[j.perm[i]]
+		for k, kc := range j.keyCols {
+			c, err := data.Compare(row[kc], keys[k])
+			if err != nil && seekErr == nil {
+				seekErr = err
+			}
+			if c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	lo := sort.Search(len(j.perm), func(i int) bool { return cmpAt(i) >= 0 })
+	hi := sort.Search(len(j.perm), func(i int) bool { return cmpAt(i) > 0 })
+	if seekErr != nil {
+		return 0, 0, seekErr
+	}
+	return lo, hi, nil
+}
+
+func (j *lookupJoinIter) Next() (data.Row, bool, error) {
+	keys := make([]data.Value, len(j.outerPos))
+	for {
+		if j.outerRow == nil {
+			or, ok, err := j.outer.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			null := false
+			for i, p := range j.outerPos {
+				keys[i] = or[p]
+				null = null || or[p].IsNull()
+			}
+			if null {
+				continue // NULL keys never join
+			}
+			lo, hi, err := j.seek(keys)
+			if err != nil {
+				return nil, false, err
+			}
+			if lo == hi {
+				continue
+			}
+			j.outerRow, j.lo, j.hi = or, lo, hi
+		}
+		for j.lo < j.hi {
+			inner := j.table.Rows[j.perm[j.lo]]
+			j.lo++
+			if j.innerFilter != nil {
+				keep, err := j.innerFilter(inner)
+				if err != nil {
+					return nil, false, err
+				}
+				if !keep {
+					continue
+				}
+			}
+			row := data.Concat(j.outerRow, inner)
+			if j.pred != nil {
+				keep, err := j.pred(row)
+				if err != nil {
+					return nil, false, err
+				}
+				if !keep {
+					continue
+				}
+			}
+			return row, true, nil
+		}
+		j.outerRow = nil
+	}
+}
+
+func (j *lookupJoinIter) Close() error { return j.outer.Close() }

@@ -1,0 +1,137 @@
+package exec
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/data"
+	"repro/internal/memo"
+)
+
+// resultIter computes the final projections and, for the self-sorting
+// Result variant, orders the output. Sort keys may be computed output
+// columns (ORDER BY revenue over SUM(...)), so the iterator sorts rows
+// extended with the projected values and then trims to the projections.
+type resultIter struct {
+	child   Iterator
+	projFns []evalFunc
+	nProj   int
+
+	// Self-sort state (sortKeyPos indexes the extended row: child row
+	// followed by projected values).
+	selfSort bool
+	keyPos   []int
+	desc     []bool
+	rows     []data.Row
+	loaded   bool
+	pos      int
+}
+
+func buildResult(e *memo.Expr, q *algebra.Query, child Iterator, cs schema) (Iterator, schema, error) {
+	out := make(schema, len(q.Projections))
+	projFns := make([]evalFunc, len(q.Projections))
+	for i := range q.Projections {
+		f, err := compile(q.Projections[i].Expr, cs)
+		if err != nil {
+			return nil, nil, err
+		}
+		projFns[i] = f
+		out[i] = q.Projections[i].Out.ID
+	}
+	it := &resultIter{child: child, projFns: projFns, nProj: len(projFns)}
+	if !e.SortOrder.IsNone() {
+		extended := cs.concat(out)
+		it.selfSort = true
+		it.keyPos = make([]int, len(e.SortOrder))
+		it.desc = make([]bool, len(e.SortOrder))
+		for i, oc := range e.SortOrder {
+			p := extended.pos(oc.Col)
+			if p < 0 {
+				return nil, nil, errMissingSortKey(oc.Col)
+			}
+			it.keyPos[i] = p
+			it.desc[i] = oc.Desc
+		}
+	}
+	return it, out, nil
+}
+
+type missingSortKeyError algebra.ColID
+
+func errMissingSortKey(c algebra.ColID) error { return missingSortKeyError(c) }
+
+func (e missingSortKeyError) Error() string {
+	return "exec: result sort key not found in output or input"
+}
+
+func (r *resultIter) project(row data.Row) (data.Row, error) {
+	out := make(data.Row, r.nProj)
+	for i, f := range r.projFns {
+		v, err := f(row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (r *resultIter) Open() error {
+	r.pos = 0
+	if r.selfSort && r.loaded {
+		return nil
+	}
+	if err := r.child.Open(); err != nil {
+		return err
+	}
+	if !r.selfSort {
+		return nil
+	}
+	for {
+		row, ok, err := r.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		proj, err := r.project(row)
+		if err != nil {
+			return err
+		}
+		r.rows = append(r.rows, data.Concat(row, proj))
+	}
+	if err := r.child.Close(); err != nil {
+		return err
+	}
+	if err := sortRows(r.rows, r.keyPos, r.desc); err != nil {
+		return err
+	}
+	r.loaded = true
+	return nil
+}
+
+func (r *resultIter) Next() (data.Row, bool, error) {
+	if r.selfSort {
+		if r.pos >= len(r.rows) {
+			return nil, false, nil
+		}
+		ext := r.rows[r.pos]
+		r.pos++
+		return ext[len(ext)-r.nProj:], true, nil
+	}
+	row, ok, err := r.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	proj, err := r.project(row)
+	if err != nil {
+		return nil, false, err
+	}
+	return proj, true, nil
+}
+
+func (r *resultIter) Close() error {
+	if r.selfSort {
+		return nil
+	}
+	return r.child.Close()
+}

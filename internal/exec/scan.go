@@ -1,0 +1,80 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/memo"
+	"repro/internal/storage"
+)
+
+// scanIter reads a stored table, in heap order for TableScan or in index
+// key order for IndexScan, applying the relation's pushed-down filters.
+type scanIter struct {
+	table  *storage.Table
+	perm   []int32 // nil for heap order
+	filter func(data.Row) (bool, error)
+	pos    int
+}
+
+func buildScan(e *memo.Expr, db *storage.DB) (Iterator, schema, error) {
+	rel := e.Scan.Rel
+	t, err := db.Table(rel.Table.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(schema, len(rel.Cols))
+	for i, c := range rel.Cols {
+		out[i] = c.ID
+	}
+	it := &scanIter{table: t}
+	if e.Op == memo.IndexScan {
+		if e.Scan.Index == nil {
+			return nil, nil, fmt.Errorf("exec: index scan %s has no index", e.Name())
+		}
+		perm, err := t.IndexOrder(e.Scan.Index)
+		if err != nil {
+			return nil, nil, err
+		}
+		it.perm = perm
+	}
+	if f := rel.FilterExpr(); f != nil {
+		pred, err := compilePredicate(f, out)
+		if err != nil {
+			return nil, nil, err
+		}
+		it.filter = pred
+	}
+	return it, out, nil
+}
+
+func (s *scanIter) Open() error {
+	s.pos = 0
+	return nil
+}
+
+func (s *scanIter) Next() (data.Row, bool, error) {
+	n := len(s.table.Rows)
+	for s.pos < n {
+		var row data.Row
+		if s.perm != nil {
+			row = s.table.Rows[s.perm[s.pos]]
+		} else {
+			row = s.table.Rows[s.pos]
+		}
+		s.pos++
+		if s.filter != nil {
+			keep, err := s.filter(row)
+			if err != nil {
+				return nil, false, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		return row, true, nil
+	}
+	return nil, false, nil
+}
+
+func (s *scanIter) Close() error { return nil }

@@ -1,0 +1,335 @@
+// Package experiments reproduces the paper's evaluation: Table 1 (search
+// space parameters of TPC-H join queries under uniform sampling), Figure
+// 4 (cost distribution histograms of the lower 50% of sampled costs), and
+// the Section 4 verification methodology (execute many plans of one
+// query and require identical results).
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/histogram"
+	"repro/internal/memo"
+	"repro/internal/plan"
+	"repro/internal/rules"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+// Table1Row is one line of the paper's Table 1: the space size and the
+// distribution of sampled plan costs scaled to the optimizer's optimum
+// (optimum = 1.0).
+type Table1Row struct {
+	Query     string
+	Cross     bool // Cartesian products allowed (second half of the table)
+	Plans     *big.Int
+	Sample    int
+	Min       float64
+	Mean      float64
+	Max       float64
+	WithinTwo float64 // fraction of sampled plans with cost <= 2x optimum
+	WithinTen float64 // fraction <= 10x optimum
+
+	CountTime  time.Duration
+	SampleTime time.Duration
+}
+
+// Config parameterizes the experiments.
+type Config struct {
+	SampleSize int   // paper: 10,000
+	Seed       int64 // sampling seed (experiments are deterministic)
+
+	// Rules overrides the rule configuration (nil: the full default
+	// set). The Cartesian flag of each experiment is applied on top.
+	Rules *rules.Config
+}
+
+// engineFor builds an engine honoring the config's rule overrides.
+func (c Config) engineFor(db *storage.DB, cross bool) *engine.Engine {
+	if c.Rules != nil {
+		cfg := *c.Rules
+		cfg.AllowCartesian = cross
+		return engine.New(db, engine.WithRules(cfg))
+	}
+	return engine.New(db, engine.WithCartesian(cross))
+}
+
+// DefaultConfig matches the paper's sample size.
+func DefaultConfig() Config { return Config{SampleSize: 10000, Seed: 1} }
+
+// ScaledCosts prepares a query, samples cfg.SampleSize plans uniformly,
+// and returns their costs scaled to the optimum, plus the prepared query.
+func ScaledCosts(db *storage.DB, sqlText string, cross bool, cfg Config) ([]float64, *engine.Prepared, error) {
+	e := cfg.engineFor(db, cross)
+	p, err := e.Prepare(sqlText)
+	if err != nil {
+		return nil, nil, err
+	}
+	smp, err := p.Sampler(cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	costs := make([]float64, 0, cfg.SampleSize)
+	for i := 0; i < cfg.SampleSize; i++ {
+		_, pl, err := smp.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		sc, err := p.ScaledCost(pl)
+		if err != nil {
+			return nil, nil, err
+		}
+		costs = append(costs, sc)
+	}
+	return costs, p, nil
+}
+
+// Table1 computes one row of Table 1 for a named TPC-H query.
+func Table1(db *storage.DB, query string, cross bool, cfg Config) (Table1Row, error) {
+	sqlText, ok := tpch.Query(query)
+	if !ok {
+		return Table1Row{}, fmt.Errorf("experiments: unknown query %q", query)
+	}
+	e := cfg.engineFor(db, cross)
+
+	countStart := time.Now()
+	p, err := e.Prepare(sqlText)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	countTime := time.Since(countStart)
+
+	sampleStart := time.Now()
+	smp, err := p.Sampler(cfg.Seed)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	costs := make([]float64, 0, cfg.SampleSize)
+	for i := 0; i < cfg.SampleSize; i++ {
+		_, pl, err := smp.Next()
+		if err != nil {
+			return Table1Row{}, err
+		}
+		sc, err := p.ScaledCost(pl)
+		if err != nil {
+			return Table1Row{}, err
+		}
+		costs = append(costs, sc)
+	}
+	sampleTime := time.Since(sampleStart)
+
+	sum := histogram.Summarize(costs)
+	return Table1Row{
+		Query:      query,
+		Cross:      cross,
+		Plans:      p.Count(),
+		Sample:     cfg.SampleSize,
+		Min:        sum.Min,
+		Mean:       sum.Mean,
+		Max:        sum.Max,
+		WithinTwo:  sum.WithinTwo,
+		WithinTen:  sum.WithinTen,
+		CountTime:  countTime,
+		SampleTime: sampleTime,
+	}, nil
+}
+
+// Table1All computes the full table: the paper's four queries without and
+// then with Cartesian products.
+func Table1All(db *storage.DB, cfg Config) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, cross := range []bool{false, true} {
+		for _, q := range tpch.PaperQueries() {
+			row, err := Table1(db, q, cross, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s (cross=%v): %w", q, cross, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders rows in the paper's layout: Query, #Plans, Min,
+// Mean, Max scaled costs and the percentage of plans within 2x and 10x of
+// the optimum, for a sample of the configured size.
+func FormatTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("                                          In a sample\n")
+	sb.WriteString("Query  #Plans                Min    Mean        Max          costs<=2  costs<=10\n")
+	for i, r := range rows {
+		if i > 0 && rows[i-1].Cross != r.Cross {
+			sb.WriteString("---- including Cartesian products ----\n")
+		}
+		fmt.Fprintf(&sb, "%-6s %-20s  %-6.2f %-11.4g %-12.4g %6.2f%%  %6.2f%%\n",
+			r.Query, r.Plans.String(), r.Min, r.Mean, r.Max,
+			100*r.WithinTwo, 100*r.WithinTen)
+	}
+	sb.WriteString("scaled costs: factor of the optimizer's optimum (optimum = 1.0)\n")
+	return sb.String()
+}
+
+// Figure4Plot is one panel of Figure 4: the histogram of the lower 50% of
+// sampled scaled costs for one query.
+type Figure4Plot struct {
+	Query string
+	Cross bool
+	Hist  *histogram.Histogram
+	// Clipped is the number of samples above the median (the paper clips
+	// the right tail "as its displaying would otherwise cause the
+	// interesting part of the distribution to be compressed").
+	Clipped int
+}
+
+// Figure4 builds one panel with the given bucket count.
+func Figure4(db *storage.DB, query string, cross bool, buckets int, cfg Config) (*Figure4Plot, error) {
+	sqlText, ok := tpch.Query(query)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown query %q", query)
+	}
+	costs, _, err := ScaledCosts(db, sqlText, cross, cfg)
+	if err != nil {
+		return nil, err
+	}
+	lower := histogram.LowerHalf(costs)
+	lo, hi := lower[0], lower[len(lower)-1]
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	h, err := histogram.New(lo, hi, buckets)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range lower {
+		h.Add(c)
+	}
+	return &Figure4Plot{Query: query, Cross: cross, Hist: h, Clipped: len(costs) - len(lower)}, nil
+}
+
+// Render draws the panel as text.
+func (f *Figure4Plot) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "TPC-H %s (cross=%v) — scaled costs, lower 50%% of %d samples (right tail of %d clipped)\n",
+		f.Query, f.Cross, f.Hist.Total+f.Clipped, f.Clipped)
+	sb.WriteString(f.Hist.Render(60))
+	return sb.String()
+}
+
+// VerifyReport summarizes a Section 4 verification run over one query:
+// how many plans were executed and whether every result matched the
+// optimizer plan's result.
+type VerifyReport struct {
+	Query      string
+	Plans      *big.Int
+	Executed   int
+	Exhaustive bool
+	Mismatches []string // plan ranks whose results differed
+}
+
+// Verify executes either the whole space (when it has at most maxExhaustive
+// plans) or sampleSize uniformly sampled plans, and compares every result
+// to the optimal plan's result with a float tolerance.
+func Verify(db *storage.DB, sqlText string, maxExhaustive int, sampleSize int, seed int64) (*VerifyReport, error) {
+	e := engine.New(db)
+	p, err := e.Prepare(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	reference, err := p.Execute(p.OptimalPlan())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: executing optimal plan: %w", err)
+	}
+	report := &VerifyReport{Query: sqlText, Plans: p.Count()}
+	keyPos, desc, checkOrder := p.OutputOrdering()
+
+	check := func(r *big.Int, pl *plan.Node) error {
+		if err := pl.Validate(); err != nil {
+			report.Mismatches = append(report.Mismatches, fmt.Sprintf("plan %s invalid: %v", r, err))
+			return nil
+		}
+		res, err := p.Execute(pl)
+		if err != nil {
+			report.Mismatches = append(report.Mismatches, fmt.Sprintf("plan %s failed: %v", r, err))
+			return nil
+		}
+		if !res.Equivalent(reference, 1e-9) {
+			report.Mismatches = append(report.Mismatches, fmt.Sprintf("plan %s produced different rows", r))
+		}
+		// Every plan of an ORDER BY query must also deliver the order —
+		// regardless of whether it sorts at the root or relies on an
+		// index, merge join, or enforcer below.
+		if checkOrder {
+			if err := res.CheckOrdered(keyPos, desc); err != nil {
+				report.Mismatches = append(report.Mismatches, fmt.Sprintf("plan %s order violation: %v", r, err))
+			}
+		}
+		report.Executed++
+		return nil
+	}
+
+	if p.Count().IsInt64() && p.Count().Int64() <= int64(maxExhaustive) {
+		report.Exhaustive = true
+		err = p.Space.Enumerate(func(r *big.Int, pl *plan.Node) bool {
+			return check(r, pl) == nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return report, nil
+	}
+
+	smp, err := p.Sampler(seed)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < sampleSize; i++ {
+		r, pl, err := smp.Next()
+		if err != nil {
+			return nil, err
+		}
+		if err := check(r, pl); err != nil {
+			return nil, err
+		}
+	}
+	return report, nil
+}
+
+// CountOnly prepares a query and reports just the space size and the
+// counting time (experiment E3: "counting never exceeded 1 second").
+func CountOnly(db *storage.DB, sqlText string, cross bool) (*big.Int, time.Duration, error) {
+	e := engine.New(db, engine.WithCartesian(cross))
+	start := time.Now()
+	p, err := e.Prepare(sqlText)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p.Count(), time.Since(start), nil
+}
+
+// PruningAblation compares the full space against the space a pruning
+// optimizer retains (experiment E9): for every reachable (group,
+// ordering) context only the winner survives.
+type PruningAblation struct {
+	Full     *big.Int
+	Retained *big.Int
+}
+
+// Prune computes the ablation for one query.
+func Prune(db *storage.DB, sqlText string, cross bool) (*PruningAblation, error) {
+	e := engine.New(db, engine.WithCartesian(cross))
+	p, err := e.Prepare(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	retained := p.Opt.RetainedExprs()
+	pruned, err := core.Prepare(p.Opt.Memo, core.WithFilter(func(ex *memo.Expr) bool { return retained[ex] }))
+	if err != nil {
+		return nil, err
+	}
+	return &PruningAblation{Full: p.Count(), Retained: pruned.Count()}, nil
+}

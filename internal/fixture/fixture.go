@@ -1,0 +1,187 @@
+// Package fixture reconstructs the MEMO of the paper's Figures 1-3 by
+// hand, so the counting and unranking machinery can be golden-tested
+// against every number legible in the figures:
+//
+//   - N(3.3) = 2·4 = 8 and N(3.4) = 1·3 = 3 (Figure 3's annotations),
+//     which pins down the enforcer convention: Sort 1.4 accepts the
+//     non-enforcer operators of its own group (N(1.4) = N(1.2) + N(1.3)
+//     = 2), and a hash join accepts enforcers as children,
+//   - group 3 contributes 8 + 3 = 11 alternatives and group 4 two, so
+//     N(7.7) = 2·11 = 22 (Figure 3's root annotation),
+//   - the appendix's unranked plan is exactly the operator set
+//     {7.7, 4.3, 3.4, 2.3, 1.3}.
+//
+// The appendix's arithmetic contains typos (see DESIGN.md); the fixture
+// asserts the self-consistent rank of that plan (17) and round-trips it
+// through Rank/Unrank.
+//
+// Groups 5 and 6 of Figure 2 (the other join shapes) are reconstructed
+// with their logical operators; the root group's physical operators 7.7
+// and 7.8 reference groups 4 and 3, as the materialized links of Figure 3
+// show for 7.7.
+package fixture
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/data"
+	"repro/internal/memo"
+	"repro/internal/plan"
+)
+
+// Paper is the reconstructed MEMO with operators addressable by their
+// paper names ("group.local", e.g. "7.7").
+type Paper struct {
+	Memo  *memo.Memo
+	Query *algebra.Query
+	ops   map[string]*memo.Expr
+
+	// Named orderings: the sort orders on A.a, B.b, C.c.
+	SortA, SortB, SortC algebra.Ordering
+}
+
+// New builds the fixture.
+func New() *Paper {
+	cat := catalog.New()
+	for _, name := range []string{"A", "B", "C"} {
+		cat.MustAdd(&catalog.Table{
+			Name:        name,
+			Columns:     []catalog.Column{{Name: name + "_key", Kind: data.KindInt}},
+			Indexes:     []catalog.Index{{Name: "idx_" + name, KeyCols: []int{0}}},
+			RowCount:    100,
+			AvgRowBytes: 32,
+		})
+	}
+	q := algebra.NewQuery()
+	for i, name := range []string{"A", "B", "C"} {
+		tbl, _ := cat.Table(name)
+		rel := &algebra.BaseRel{Idx: i, Name: name, Table: tbl}
+		rel.Cols = []algebra.Column{q.NewBaseColumn(name+"_key", data.KindInt, i, 0)}
+		q.Rels = append(q.Rels, rel)
+		q.AllRels = q.AllRels.Add(i)
+	}
+
+	p := &Paper{Query: q, ops: make(map[string]*memo.Expr)}
+	p.SortA = algebra.Ordering{{Col: q.Rels[0].Cols[0].ID}}
+	p.SortB = algebra.Ordering{{Col: q.Rels[1].Cols[0].ID}}
+	p.SortC = algebra.Ordering{{Col: q.Rels[2].Cols[0].ID}}
+
+	m := memo.New(q)
+	p.Memo = m
+
+	add := func(g *memo.Group, e memo.Expr) *memo.Expr {
+		ex := m.AddExpr(g, e)
+		p.ops[ex.Name()] = ex
+		return ex
+	}
+
+	scanSpec := func(i int) *memo.ScanSpec { return &memo.ScanSpec{Rel: q.Rels[i]} }
+	idxSpec := func(i int) *memo.ScanSpec {
+		return &memo.ScanSpec{Rel: q.Rels[i], Index: &q.Rels[i].Table.Indexes[0]}
+	}
+
+	// Group 1: Scan A — Get, TableScan, SortedIDXScan, Sort enforcer.
+	g1 := m.NewGroup(memo.GroupScan, algebra.SetOf(0))
+	add(g1, memo.Expr{Op: memo.LogicalGet, Scan: scanSpec(0)})                                             // 1.1
+	add(g1, memo.Expr{Op: memo.TableScan, Scan: scanSpec(0)})                                              // 1.2
+	add(g1, memo.Expr{Op: memo.IndexScan, Scan: idxSpec(0), Delivered: p.SortA})                           // 1.3
+	add(g1, memo.Expr{Op: memo.Sort, Children: []*memo.Group{g1}, SortOrder: p.SortA, Delivered: p.SortA}) // 1.4
+
+	// Group 2: Scan B — Get, TableScan, SortedIDXScan.
+	g2 := m.NewGroup(memo.GroupScan, algebra.SetOf(1))
+	add(g2, memo.Expr{Op: memo.LogicalGet, Scan: scanSpec(1)})                   // 2.1
+	add(g2, memo.Expr{Op: memo.TableScan, Scan: scanSpec(1)})                    // 2.2
+	add(g2, memo.Expr{Op: memo.IndexScan, Scan: idxSpec(1), Delivered: p.SortB}) // 2.3
+
+	// Group 3: Join(A,B) — two commuted logical joins, a hash join, and a
+	// sort-merge join requiring sorted inputs and delivering SortA.
+	g3 := m.NewGroup(memo.GroupJoin, algebra.SetOf(0, 1))
+	specAB := &memo.JoinSpec{}
+	specBA := &memo.JoinSpec{}
+	add(g3, memo.Expr{Op: memo.LogicalJoin, Children: []*memo.Group{g1, g2}, Join: specAB}) // 3.1
+	add(g3, memo.Expr{Op: memo.LogicalJoin, Children: []*memo.Group{g2, g1}, Join: specBA}) // 3.2
+	add(g3, memo.Expr{Op: memo.HashJoin, Children: []*memo.Group{g1, g2}, Join: specAB})    // 3.3
+	add(g3, memo.Expr{
+		Op: memo.MergeJoin, Children: []*memo.Group{g1, g2}, Join: specAB,
+		Required:  []algebra.Ordering{p.SortA, p.SortB},
+		Delivered: p.SortA,
+	}) // 3.4
+
+	// Group 4: Scan C.
+	g4 := m.NewGroup(memo.GroupScan, algebra.SetOf(2))
+	add(g4, memo.Expr{Op: memo.LogicalGet, Scan: scanSpec(2)})                   // 4.1
+	add(g4, memo.Expr{Op: memo.TableScan, Scan: scanSpec(2)})                    // 4.2
+	add(g4, memo.Expr{Op: memo.IndexScan, Scan: idxSpec(2), Delivered: p.SortC}) // 4.3
+
+	// Groups 5 and 6: the other join shapes produced by associativity,
+	// reconstructed with their logical operators (Figure 2 shows them
+	// partially expanded; their physical operators do not participate in
+	// the counts Figure 3 annotates).
+	g5 := m.NewGroup(memo.GroupJoin, algebra.SetOf(1, 2))
+	specBC := &memo.JoinSpec{}
+	specCB := &memo.JoinSpec{}
+	add(g5, memo.Expr{Op: memo.LogicalJoin, Children: []*memo.Group{g2, g4}, Join: specBC}) // 5.1
+	add(g5, memo.Expr{Op: memo.LogicalJoin, Children: []*memo.Group{g4, g2}, Join: specCB}) // 5.2
+
+	g6 := m.NewGroup(memo.GroupJoin, algebra.SetOf(0, 2))
+	specAC := &memo.JoinSpec{}
+	specCA := &memo.JoinSpec{}
+	add(g6, memo.Expr{Op: memo.LogicalJoin, Children: []*memo.Group{g1, g4}, Join: specAC}) // 6.1
+	add(g6, memo.Expr{Op: memo.LogicalJoin, Children: []*memo.Group{g4, g1}, Join: specCA}) // 6.2
+
+	// Group 7: the root join. Six logical alternatives (the associativity
+	// and commutativity closure over the three shapes), then the physical
+	// operators 7.7 and 7.8 whose links Figure 3 materializes.
+	g7 := m.NewGroup(memo.GroupRoot, algebra.SetOf(0, 1, 2))
+	spec34 := &memo.JoinSpec{}
+	spec43 := &memo.JoinSpec{}
+	spec15 := &memo.JoinSpec{}
+	spec51 := &memo.JoinSpec{}
+	spec26 := &memo.JoinSpec{}
+	spec62 := &memo.JoinSpec{}
+	add(g7, memo.Expr{Op: memo.LogicalJoin, Children: []*memo.Group{g3, g4}, Join: spec34}) // 7.1
+	add(g7, memo.Expr{Op: memo.LogicalJoin, Children: []*memo.Group{g4, g3}, Join: spec43}) // 7.2
+	add(g7, memo.Expr{Op: memo.LogicalJoin, Children: []*memo.Group{g1, g5}, Join: spec15}) // 7.3
+	add(g7, memo.Expr{Op: memo.LogicalJoin, Children: []*memo.Group{g5, g1}, Join: spec51}) // 7.4
+	add(g7, memo.Expr{Op: memo.LogicalJoin, Children: []*memo.Group{g2, g6}, Join: spec26}) // 7.5
+	add(g7, memo.Expr{Op: memo.LogicalJoin, Children: []*memo.Group{g6, g2}, Join: spec62}) // 7.6
+	add(g7, memo.Expr{Op: memo.HashJoin, Children: []*memo.Group{g4, g3}, Join: spec43})    // 7.7
+	add(g7, memo.Expr{
+		Op: memo.MergeJoin, Children: []*memo.Group{g4, g3}, Join: spec43,
+		Required:  []algebra.Ordering{p.SortC, p.SortA},
+		Delivered: p.SortC,
+	}) // 7.8
+
+	return p
+}
+
+// Op returns the operator with the given paper name, panicking on unknown
+// names (the fixture is static; a miss is a test bug).
+func (p *Paper) Op(name string) *memo.Expr {
+	e, ok := p.ops[name]
+	if !ok {
+		panic(fmt.Sprintf("fixture: no operator %q", name))
+	}
+	return e
+}
+
+// AppendixPlan builds the plan the appendix unranks: operators
+// 7.7, 4.3, 3.4, 2.3, 1.3 — HashJoin(IndexScan C, MergeJoin(IndexScan A,
+// IndexScan B)).
+func (p *Paper) AppendixPlan() *plan.Node {
+	return &plan.Node{
+		Expr: p.Op("7.7"),
+		Children: []*plan.Node{
+			{Expr: p.Op("4.3")},
+			{
+				Expr: p.Op("3.4"),
+				Children: []*plan.Node{
+					{Expr: p.Op("1.3")},
+					{Expr: p.Op("2.3")},
+				},
+			},
+		},
+	}
+}

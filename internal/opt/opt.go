@@ -1,0 +1,257 @@
+// Package opt is the optimizer driver: it expands the search space into a
+// MEMO (internal/rules), annotates groups with estimated cardinalities,
+// computes the cheapest plan per (group, required ordering) by dynamic
+// programming over the MEMO — the paper's "for every group we keep track
+// of the best physical operator for each set of physical properties" —
+// and extracts the optimal plan from the root group.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/algebra"
+	"repro/internal/cost"
+	"repro/internal/memo"
+	"repro/internal/plan"
+	"repro/internal/rules"
+)
+
+// Options configures an optimization run.
+type Options struct {
+	Rules  rules.Config
+	Params cost.Params
+}
+
+// DefaultOptions returns the full rule set with default cost parameters.
+func DefaultOptions() Options {
+	return Options{Rules: rules.Default(), Params: cost.Default()}
+}
+
+// Result is the outcome of optimizing one query: the expanded MEMO with
+// cardinalities and operator costs filled in, the optimal plan, and the
+// estimator/model needed to cost arbitrary plans from the same space.
+type Result struct {
+	Query *algebra.Query
+	Memo  *memo.Memo
+	Est   *cost.Estimator
+	Model *cost.Model
+
+	Best     *plan.Node
+	BestCost float64
+
+	winners map[winnerKey]*winner
+}
+
+// Optimize expands, costs, and solves the search space for q.
+func Optimize(q *algebra.Query, opts Options) (*Result, error) {
+	m, err := rules.BuildMemo(q, opts.Rules)
+	if err != nil {
+		return nil, err
+	}
+	est := cost.NewEstimator(q, opts.Params)
+	model := cost.NewModel(est)
+	annotateCards(m, est)
+	if err := annotateLocalCosts(m, model); err != nil {
+		return nil, err
+	}
+
+	r := &Result{Query: q, Memo: m, Est: est, Model: model, winners: make(map[winnerKey]*winner)}
+	w, err := r.bestFor(m.Root, nil)
+	if err != nil {
+		return nil, err
+	}
+	if w == nil {
+		return nil, fmt.Errorf("opt: no plan found for root group")
+	}
+	r.Best = w.node
+	r.BestCost = w.cost
+	return r, nil
+}
+
+// annotateCards sets every group's estimated output cardinality. Cards
+// are properties of the group (relation subset plus operator layer), so
+// every alternative in a group shares them — the invariant the MEMO's
+// costing relies on.
+func annotateCards(m *memo.Memo, est *cost.Estimator) {
+	for _, g := range m.Groups {
+		switch g.Kind {
+		case memo.GroupScan:
+			g.Card = est.BaseCard(g.RelSet.Indices()[0])
+		case memo.GroupJoin:
+			g.Card = est.SetCard(g.RelSet)
+		case memo.GroupAgg:
+			g.Card = est.AggCard(est.SetCard(g.RelSet))
+		case memo.GroupRoot:
+			// The root projects its child without changing cardinality.
+			if m.Query.HasAgg() {
+				g.Card = est.AggCard(est.SetCard(g.RelSet))
+			} else {
+				g.Card = est.SetCard(g.RelSet)
+			}
+		}
+	}
+}
+
+// annotateLocalCosts fills each physical operator's LocalCost for display
+// and for the counting tools; plan costs are computed recursively by the
+// model, not by summing these.
+func annotateLocalCosts(m *memo.Memo, model *cost.Model) error {
+	for _, g := range m.Groups {
+		for _, e := range g.Physical {
+			lc, err := model.Local(e)
+			if err != nil {
+				return err
+			}
+			e.LocalCost = lc
+		}
+	}
+	return nil
+}
+
+type winnerKey struct {
+	group int
+	ord   string
+	kind  uint8 // 0: any operator; 1: non-enforcers only
+}
+
+type winner struct {
+	node *plan.Node
+	cost float64
+}
+
+// bestFor returns the cheapest plan rooted in group g whose delivered
+// ordering satisfies req, or nil when no operator qualifies.
+func (r *Result) bestFor(g *memo.Group, req algebra.Ordering) (*winner, error) {
+	return r.search(g, req, false)
+}
+
+// bestNonEnforcer returns the cheapest plan rooted in a non-enforcer of
+// g with no ordering requirement — the input an enforcer sorts.
+func (r *Result) bestNonEnforcer(g *memo.Group) (*winner, error) {
+	return r.search(g, nil, true)
+}
+
+func (r *Result) search(g *memo.Group, req algebra.Ordering, nonEnforcersOnly bool) (*winner, error) {
+	kind := uint8(0)
+	if nonEnforcersOnly {
+		kind = 1
+	}
+	key := winnerKey{group: g.ID, ord: req.Key(), kind: kind}
+	if w, ok := r.winners[key]; ok {
+		return w, nil
+	}
+	var best *winner
+	for _, e := range g.Physical {
+		if nonEnforcersOnly && e.IsEnforcer() {
+			continue
+		}
+		if !e.Delivered.Satisfies(req) {
+			continue
+		}
+		var w *winner
+		var err error
+		if e.IsEnforcer() {
+			w, err = r.costEnforcer(e)
+		} else {
+			w, err = r.costExpr(e)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if w == nil {
+			continue
+		}
+		if best == nil || w.cost < best.cost {
+			best = w
+		}
+	}
+	r.winners[key] = best
+	return best, nil
+}
+
+func (r *Result) costEnforcer(e *memo.Expr) (*winner, error) {
+	in, err := r.bestNonEnforcer(e.Group)
+	if err != nil || in == nil {
+		return nil, err
+	}
+	total, err := r.Model.Combine(e, []float64{in.cost})
+	if err != nil {
+		return nil, err
+	}
+	return &winner{node: &plan.Node{Expr: e, Children: []*plan.Node{in.node}}, cost: total}, nil
+}
+
+func (r *Result) costExpr(e *memo.Expr) (*winner, error) {
+	childCosts := make([]float64, len(e.Children))
+	childNodes := make([]*plan.Node, len(e.Children))
+	for i, cg := range e.Children {
+		cw, err := r.bestFor(cg, plan.RequiredOf(e, i))
+		if err != nil {
+			return nil, err
+		}
+		if cw == nil {
+			return nil, nil // requirement unsatisfiable in this child
+		}
+		childCosts[i] = cw.cost
+		childNodes[i] = cw.node
+	}
+	total, err := r.Model.Combine(e, childCosts)
+	if err != nil {
+		return nil, err
+	}
+	if math.IsNaN(total) || math.IsInf(total, 0) {
+		return nil, fmt.Errorf("opt: non-finite cost for operator %s", e.Name())
+	}
+	return &winner{node: &plan.Node{Expr: e, Children: childNodes}, cost: total}, nil
+}
+
+// PlanCost costs an arbitrary plan from this result's space — the
+// primitive the cost-distribution experiments apply to every sampled
+// plan, normalizing by BestCost.
+func (r *Result) PlanCost(n *plan.Node) (float64, error) {
+	return n.Cost(r.Model)
+}
+
+// RetainedExprs simulates the paper's remark that "some optimizers by
+// default discard suboptimal expressions": it returns the set of
+// operators a pruning optimizer would retain — for every (group,
+// required ordering) context reachable from the root, only the winning
+// operator survives. Counting plans over this filtered MEMO quantifies
+// how much of the space pruning hides from testing (ablation E9).
+func (r *Result) RetainedExprs() map[*memo.Expr]bool {
+	retained := make(map[*memo.Expr]bool)
+	type ctx struct {
+		g    *memo.Group
+		ord  string
+		kind uint8
+	}
+	seen := make(map[ctx]bool)
+	var visit func(g *memo.Group, req algebra.Ordering, nonEnf bool)
+	visit = func(g *memo.Group, req algebra.Ordering, nonEnf bool) {
+		kind := uint8(0)
+		if nonEnf {
+			kind = 1
+		}
+		c := ctx{g: g, ord: req.Key(), kind: kind}
+		if seen[c] {
+			return
+		}
+		seen[c] = true
+		w := r.winners[winnerKey{group: g.ID, ord: req.Key(), kind: kind}]
+		if w == nil {
+			return
+		}
+		e := w.node.Expr
+		retained[e] = true
+		if e.IsEnforcer() {
+			visit(e.Group, nil, true)
+			return
+		}
+		for i, cg := range e.Children {
+			visit(cg, plan.RequiredOf(e, i), false)
+		}
+	}
+	visit(r.Memo.Root, nil, false)
+	return retained
+}

@@ -1,0 +1,389 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/data"
+	"repro/internal/memo"
+	"repro/internal/sql"
+)
+
+// chainSchema: a - b - c joined in a chain, each with one index.
+func chainSchema() *catalog.Catalog {
+	c := catalog.New()
+	mk := func(name string, cols ...string) {
+		t := &catalog.Table{Name: name, RowCount: 100, AvgRowBytes: 32}
+		for _, cn := range cols {
+			t.Columns = append(t.Columns, catalog.Column{Name: cn, Kind: data.KindInt})
+		}
+		t.Indexes = []catalog.Index{{Name: "pk_" + name, KeyCols: []int{0}}}
+		c.MustAdd(t)
+	}
+	mk("a", "ak", "ab")
+	mk("b", "bk", "bc")
+	mk("c", "ck", "cv")
+	return c
+}
+
+func buildQuery(t *testing.T, text string) *algebra.Query {
+	t.Helper()
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := algebra.Build(stmt, chainSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+const chainQuery = "SELECT ak FROM a, b, c WHERE ab = bk AND bc = ck"
+
+func TestMemoShapeChain(t *testing.T) {
+	q := buildQuery(t, chainQuery)
+	m, err := BuildMemo(q, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain a-b-c without Cartesian products: scan groups {a},{b},{c},
+	// join groups {ab},{bc},{abc} (no {ac}), plus the root group.
+	if _, ok := m.JoinGroup(algebra.SetOf(0, 1)); !ok {
+		t.Error("missing join group {a,b}")
+	}
+	if _, ok := m.JoinGroup(algebra.SetOf(1, 2)); !ok {
+		t.Error("missing join group {b,c}")
+	}
+	if _, ok := m.JoinGroup(algebra.SetOf(0, 2)); ok {
+		t.Error("cartesian pair {a,c} present without AllowCartesian")
+	}
+	if _, ok := m.JoinGroup(algebra.SetOf(0, 1, 2)); !ok {
+		t.Error("missing top join group")
+	}
+	if m.Root == nil || m.Root.Kind != memo.GroupRoot {
+		t.Fatal("missing root group")
+	}
+}
+
+func TestCartesianExpandsSpace(t *testing.T) {
+	q := buildQuery(t, chainQuery)
+	noCross, err := BuildMemo(q, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossCfg := Default()
+	crossCfg.AllowCartesian = true
+	q2 := buildQuery(t, chainQuery)
+	cross, err := BuildMemo(q2, crossCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cross.JoinGroup(algebra.SetOf(0, 2)); !ok {
+		t.Error("cartesian pair {a,c} missing with AllowCartesian")
+	}
+	a, b := noCross.Stats(), cross.Stats()
+	if b.PhysicalOps <= a.PhysicalOps {
+		t.Errorf("cartesian space not larger: %d vs %d physical ops", b.PhysicalOps, a.PhysicalOps)
+	}
+}
+
+func TestDisconnectedGraphNeedsCartesian(t *testing.T) {
+	q := buildQuery(t, "SELECT ak FROM a, b WHERE ak > 0")
+	if _, err := BuildMemo(q, Default()); err == nil {
+		t.Error("disconnected join graph accepted without AllowCartesian")
+	}
+	cfg := Default()
+	cfg.AllowCartesian = true
+	q2 := buildQuery(t, "SELECT ak FROM a, b WHERE ak > 0")
+	m, err := BuildMemo(q2, cfg)
+	if err != nil {
+		t.Fatalf("cartesian plan failed: %v", err)
+	}
+	// The only joins are NL joins (no equi keys for hash/merge).
+	top, _ := m.JoinGroup(algebra.SetOf(0, 1))
+	for _, e := range top.Physical {
+		if e.Op == memo.HashJoin || e.Op == memo.MergeJoin {
+			t.Errorf("keyless join got %s", e.Op)
+		}
+	}
+}
+
+func TestScanGroupAlternatives(t *testing.T) {
+	q := buildQuery(t, chainQuery)
+	m, err := BuildMemo(q, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.ScanGroup(0)
+	var kinds []memo.OpKind
+	for _, e := range g.Exprs {
+		kinds = append(kinds, e.Op)
+	}
+	// Get + TableScan + IndexScan; enforcers appended later if needed.
+	if kinds[0] != memo.LogicalGet || kinds[1] != memo.TableScan || kinds[2] != memo.IndexScan {
+		t.Errorf("scan group operators: %v", kinds)
+	}
+	idx := g.Exprs[2]
+	if idx.Delivered.IsNone() {
+		t.Error("index scan delivers no ordering")
+	}
+}
+
+func TestCommutedPairsPresent(t *testing.T) {
+	q := buildQuery(t, chainQuery)
+	m, err := BuildMemo(q, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := m.JoinGroup(algebra.SetOf(0, 1))
+	var pairs [][2]int
+	for _, e := range g.Exprs {
+		if e.Op == memo.LogicalJoin {
+			pairs = append(pairs, [2]int{e.Children[0].ID, e.Children[1].ID})
+		}
+	}
+	if len(pairs) != 2 || pairs[0][0] != pairs[1][1] || pairs[0][1] != pairs[1][0] {
+		t.Errorf("expected both commuted variants, got %v", pairs)
+	}
+}
+
+func TestMergeJoinRequirementsAndEnforcers(t *testing.T) {
+	q := buildQuery(t, chainQuery)
+	m, err := BuildMemo(q, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every merge join's children groups must hold a Sort enforcer for
+	// the required ordering (or an index delivering it).
+	for _, g := range m.Groups {
+		for _, e := range g.Physical {
+			if e.Op != memo.MergeJoin {
+				continue
+			}
+			for i, req := range e.Required {
+				if req.IsNone() {
+					t.Errorf("merge join %s slot %d has no requirement", e.Name(), i)
+					continue
+				}
+				found := false
+				for _, c := range e.Children[i].Physical {
+					if c.Delivered.Satisfies(req) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("merge join %s slot %d: no child delivers %s", e.Name(), i, req)
+				}
+			}
+		}
+	}
+}
+
+func TestEnforcersReferenceOwnGroup(t *testing.T) {
+	q := buildQuery(t, chainQuery)
+	m, err := BuildMemo(q, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorts := 0
+	for _, g := range m.Groups {
+		for _, e := range g.Physical {
+			if e.Op != memo.Sort {
+				continue
+			}
+			sorts++
+			if len(e.Children) != 1 || e.Children[0] != g {
+				t.Errorf("enforcer %s does not reference its own group", e.Name())
+			}
+			if !e.Delivered.Equal(e.SortOrder) {
+				t.Errorf("enforcer %s delivers %s, sorts %s", e.Name(), e.Delivered, e.SortOrder)
+			}
+		}
+	}
+	if sorts == 0 {
+		t.Error("no sort enforcers generated for a query with merge joins")
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	build := func() string {
+		q := buildQuery(t, chainQuery)
+		m, err := BuildMemo(q, Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Dump()
+	}
+	if build() != build() {
+		t.Error("memo construction is not deterministic")
+	}
+}
+
+func TestAggAndResultGroups(t *testing.T) {
+	q := buildQuery(t, "SELECT ab, COUNT(*) AS n FROM a, b, c WHERE ab = bk AND bc = ck GROUP BY ab ORDER BY n DESC")
+	m, err := BuildMemo(q, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AggGroup == nil {
+		t.Fatal("no aggregation group")
+	}
+	var hasHash, hasStream bool
+	for _, e := range m.AggGroup.Physical {
+		switch e.Op {
+		case memo.HashAgg:
+			hasHash = true
+		case memo.StreamAgg:
+			hasStream = true
+			if e.Required[0].IsNone() {
+				t.Error("stream agg requires no ordering")
+			}
+		}
+	}
+	if !hasHash || !hasStream {
+		t.Errorf("agg group: hash=%v stream=%v", hasHash, hasStream)
+	}
+	// ORDER BY n DESC references an aggregate output: the streaming root
+	// variant requires it of the agg group, whose enforcer list must
+	// include it.
+	rootPhys := m.Root.NonEnforcers()
+	selfSort, streaming := false, false
+	for _, e := range rootPhys {
+		if e.Op != memo.Result {
+			continue
+		}
+		if !e.SortOrder.IsNone() {
+			selfSort = true
+		}
+		if len(e.Required) > 0 && !e.Required[0].IsNone() {
+			streaming = true
+		}
+	}
+	if !selfSort || !streaming {
+		t.Errorf("root variants: selfSort=%v streaming=%v", selfSort, streaming)
+	}
+}
+
+func TestComputedGroupKeyDisablesStreamAgg(t *testing.T) {
+	q := buildQuery(t, "SELECT ab + 1 AS k, COUNT(*) AS n FROM a, b WHERE ab = bk GROUP BY ab + 1")
+	m, err := BuildMemo(q, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range m.AggGroup.Physical {
+		if e.Op == memo.StreamAgg {
+			t.Error("stream agg generated for a computed grouping key")
+		}
+	}
+}
+
+func TestImplementationToggles(t *testing.T) {
+	cfg := Default()
+	cfg.EnableMergeJoin = false
+	cfg.EnableIndexScan = false
+	q := buildQuery(t, chainQuery)
+	m, err := BuildMemo(q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range m.Groups {
+		for _, e := range g.Physical {
+			if e.Op == memo.MergeJoin || e.Op == memo.IndexScan {
+				t.Errorf("disabled operator %s generated", e.Op)
+			}
+		}
+	}
+	st := m.Stats()
+	if st.EnforcerOps != 0 {
+		t.Errorf("no requirements remain, but %d enforcers generated", st.EnforcerOps)
+	}
+}
+
+func TestSingleTableQuery(t *testing.T) {
+	q := buildQuery(t, "SELECT ak FROM a WHERE ak > 5")
+	m, err := BuildMemo(q, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Groups); got != 2 {
+		t.Errorf("single-table memo has %d groups, want 2 (scan + root)", got)
+	}
+}
+
+func TestIndexNLJoinGeneration(t *testing.T) {
+	q := buildQuery(t, chainQuery)
+	m, err := BuildMemo(q, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ab = bk binds b's pk leading column: partition ({a}, {b}) of group
+	// {a,b} must offer an index nested-loop join with one child.
+	g, _ := m.JoinGroup(algebra.SetOf(0, 1))
+	found := false
+	for _, e := range g.Physical {
+		if e.Op != memo.IndexNLJoin {
+			continue
+		}
+		found = true
+		if len(e.Children) != 1 {
+			t.Errorf("lookup join %s has %d children, want 1", e.Name(), len(e.Children))
+		}
+		if e.Lookup == nil || e.Lookup.Index == nil {
+			t.Fatalf("lookup join %s missing payload", e.Name())
+		}
+		if len(e.Lookup.OuterKeys) != len(e.Lookup.InnerKeys) {
+			t.Errorf("key arity mismatch in %s", e.Name())
+		}
+	}
+	if !found {
+		t.Error("no index nested-loop join generated for indexed equi-join")
+	}
+
+	cfg := Default()
+	cfg.EnableIndexNLJoin = false
+	q2 := buildQuery(t, chainQuery)
+	m2, err := BuildMemo(q2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, grp := range m2.Groups {
+		for _, e := range grp.Physical {
+			if e.Op == memo.IndexNLJoin {
+				t.Error("lookup join generated while disabled")
+			}
+		}
+	}
+}
+
+func TestIndexNLJoinOnlyForSingleInnerWithMatchingIndex(t *testing.T) {
+	// Join key bc on table c's *second* column: no index leads with it,
+	// so no lookup join on inner {c} via that key... but c's pk leads
+	// with ck which is not an equi key here unless bc = ck. chainQuery
+	// has bc = ck (ck IS the pk lead), so instead check the {a,b} side:
+	// inner {a} has pk on ak, but the equi pred binds ab — no lookup.
+	q := buildQuery(t, chainQuery)
+	m, err := BuildMemo(q, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := m.JoinGroup(algebra.SetOf(0, 1))
+	for _, e := range g.Physical {
+		if e.Op == memo.IndexNLJoin && e.Lookup.Rel.Name == "a" {
+			t.Errorf("lookup join into a on unindexed key: %s", e.Name())
+		}
+	}
+	// Inner sides with more than one relation never get lookup joins.
+	top, _ := m.JoinGroup(algebra.SetOf(0, 1, 2))
+	for _, e := range top.Physical {
+		if e.Op == memo.IndexNLJoin && !e.Children[0].RelSet.Single() {
+			// Outer may be multi-relation; the lookup side is the payload
+			// relation and is single by construction. Verify that.
+			if e.Lookup.Rel == nil {
+				t.Errorf("malformed lookup join %s", e.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package sql provides the lexer, AST, and recursive-descent parser for
+// the SQL subset the reproduction needs: SELECT-FROM-WHERE-GROUP BY-ORDER
+// BY with joins expressed as comma lists or INNER JOIN ... ON, scalar
+// expressions (arithmetic, comparisons, BETWEEN, IN, LIKE, CASE, YEAR),
+// aggregates, and — per Section 4 of the paper — the OPTION (USEPLAN n)
+// extension that selects a specific plan by its number.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokenKind discriminates lexer tokens.
+type TokenKind uint8
+
+// Token kinds. Keywords are folded into TokKeyword with the upper-cased
+// text in Token.Text.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokSymbol // punctuation and operators, Text holds the lexeme
+)
+
+// Token is one lexical element with its position for error messages.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int // byte offset in the input
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "HAVING": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "BETWEEN": true, "IN": true, "LIKE": true, "CASE": true,
+	"WHEN": true, "THEN": true, "ELSE": true, "END": true, "ASC": true,
+	"DESC": true, "DATE": true, "OPTION": true, "USEPLAN": true,
+	"INNER": true, "JOIN": true, "ON": true, "NULL": true, "TRUE": true,
+	"FALSE": true, "DISTINCT": true,
+}
+
+// Lexer splits SQL text into tokens.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token. Errors (unterminated strings, stray bytes)
+// are returned rather than panicking so the engine can report bad queries.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		return l.lexWord(start), nil
+	case c >= '0' && c <= '9':
+		return l.lexNumber(start), nil
+	case c == '\'':
+		return l.lexString(start)
+	}
+	// Two-character operators first.
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		switch two {
+		case "<=", ">=", "<>", "!=":
+			l.pos += 2
+			if two == "!=" {
+				two = "<>"
+			}
+			return Token{Kind: TokSymbol, Text: two, Pos: start}, nil
+		}
+	}
+	switch c {
+	case '(', ')', ',', '*', '+', '-', '/', '=', '<', '>', '.', ';', '%':
+		l.pos++
+		return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
+	}
+	return Token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+}
+
+func (l *Lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (l *Lexer) lexWord(start int) Token {
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		return Token{Kind: TokKeyword, Text: upper, Pos: start}
+	}
+	return Token{Kind: TokIdent, Text: word, Pos: start}
+}
+
+func (l *Lexer) lexNumber(start int) Token {
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}
+}
+
+func (l *Lexer) lexString(start int) (Token, error) {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// Tokenize runs the lexer to completion, returning all tokens including
+// the trailing EOF token.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,588 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+	src  string
+}
+
+// Parse parses a single SELECT statement (an optional trailing semicolon
+// is accepted).
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, src: src}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptSymbol(";")
+	if !p.atEOF() {
+		return nil, p.errorf("trailing input after statement")
+	}
+	return stmt, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) atEOF() bool { return p.cur().Kind == TokEOF }
+
+func (p *Parser) advance() Token {
+	t := p.cur()
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errorf(format string, args ...interface{}) error {
+	msg := fmt.Sprintf(format, args...)
+	t := p.cur()
+	context := t.Text
+	if t.Kind == TokEOF {
+		context = "end of input"
+	}
+	return fmt.Errorf("sql: %s (near %q at offset %d)", msg, context, t.Pos)
+}
+
+func (p *Parser) isKeyword(kw string) bool {
+	t := p.cur()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *Parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s", kw)
+	}
+	return nil
+}
+
+func (p *Parser) isSymbol(s string) bool {
+	t := p.cur()
+	return t.Kind == TokSymbol && t.Text == s
+}
+
+func (p *Parser) acceptSymbol(s string) bool {
+	if p.isSymbol(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return p.errorf("expected %q", s)
+	}
+	return nil
+}
+
+func (p *Parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return "", p.errorf("expected identifier")
+	}
+	p.pos++
+	return t.Text, nil
+}
+
+func (p *Parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	stmt.Distinct = p.acceptKeyword("DISTINCT")
+
+	// Projection list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Select = append(stmt.Select, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if err := p.parseFrom(stmt); err != nil {
+		return nil, err
+	}
+
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, g)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("OPTION") {
+		opt, err := p.parseOption()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Option = opt
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	} else if p.cur().Kind == TokIdent {
+		// Bare alias: SELECT expr name
+		item.Alias = p.advance().Text
+	}
+	return item, nil
+}
+
+// parseFrom handles both comma-separated table lists and INNER JOIN ... ON
+// chains; inner-join ON conditions are collected into stmt.JoinOns and
+// merged with WHERE by the algebra builder.
+func (p *Parser) parseFrom(stmt *SelectStmt) error {
+	parseRef := func() error {
+		name, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		ref := TableRef{Table: name}
+		if p.acceptKeyword("AS") {
+			alias, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			ref.Alias = alias
+		} else if p.cur().Kind == TokIdent {
+			ref.Alias = p.advance().Text
+		}
+		stmt.From = append(stmt.From, ref)
+		return nil
+	}
+	if err := parseRef(); err != nil {
+		return err
+	}
+	for {
+		switch {
+		case p.acceptSymbol(","):
+			if err := parseRef(); err != nil {
+				return err
+			}
+		case p.isKeyword("INNER") || p.isKeyword("JOIN"):
+			p.acceptKeyword("INNER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return err
+			}
+			if err := parseRef(); err != nil {
+				return err
+			}
+			if err := p.expectKeyword("ON"); err != nil {
+				return err
+			}
+			cond, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			stmt.JoinOns = append(stmt.JoinOns, cond)
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *Parser) parseOption() (*Option, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("USEPLAN"); err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind != TokNumber || strings.Contains(t.Text, ".") {
+		return nil, p.errorf("USEPLAN expects a non-negative integer plan number")
+	}
+	p.pos++
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &Option{UsePlan: t.Text}, nil
+}
+
+// Expression grammar, lowest precedence first:
+//
+//	expr    := orExpr
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | predicate
+//	predicate := additive [compOp additive | BETWEEN .. AND .. | IN (..) | LIKE '..']
+//	additive := multiplicative (('+'|'-') multiplicative)*
+//	multiplicative := unary (('*'|'/') unary)*
+//	unary   := '-' unary | primary
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *Parser) parsePredicate() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	negate := false
+	if p.isKeyword("NOT") {
+		// Lookahead for NOT BETWEEN / NOT IN / NOT LIKE.
+		save := p.pos
+		p.pos++
+		if p.isKeyword("BETWEEN") || p.isKeyword("IN") || p.isKeyword("LIKE") {
+			negate = true
+		} else {
+			p.pos = save
+			return l, nil
+		}
+	}
+	switch {
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{X: l, Lo: lo, Hi: hi, Negate: negate}, nil
+	case p.acceptKeyword("IN"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var items []Expr
+		for {
+			item, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{X: l, Items: items, Negate: negate}, nil
+	case p.acceptKeyword("LIKE"):
+		t := p.cur()
+		if t.Kind != TokString {
+			return nil, p.errorf("LIKE expects a string pattern")
+		}
+		p.pos++
+		return &LikeExpr{X: l, Pattern: t.Text, Negate: negate}, nil
+	}
+	for _, op := range []string{"=", "<>", "<=", ">=", "<", ">"} {
+		if p.isSymbol(op) {
+			p.pos++
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "+", L: l, R: r}
+		case p.acceptSymbol("-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "*", L: l, R: r}
+		case p.acceptSymbol("/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "/", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.acceptSymbol("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.pos++
+		return &NumberLit{Text: t.Text}, nil
+	case TokString:
+		p.pos++
+		return &StringLit{Value: t.Text}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "DATE":
+			p.pos++
+			s := p.cur()
+			if s.Kind != TokString {
+				return nil, p.errorf("DATE expects a 'YYYY-MM-DD' string literal")
+			}
+			p.pos++
+			return &DateLit{Value: s.Text}, nil
+		case "TRUE":
+			p.pos++
+			return &BoolLit{Value: true}, nil
+		case "FALSE":
+			p.pos++
+			return &BoolLit{Value: false}, nil
+		case "NULL":
+			p.pos++
+			return &NullLit{}, nil
+		case "CASE":
+			return p.parseCase()
+		}
+		return nil, p.errorf("unexpected keyword %s in expression", t.Text)
+	case TokIdent:
+		p.pos++
+		// Function call?
+		if p.isSymbol("(") {
+			return p.parseFuncCall(t.Text)
+		}
+		// Qualified column?
+		if p.acceptSymbol(".") {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Qualifier: t.Text, Name: col}, nil
+		}
+		return &ColRef{Name: t.Text}, nil
+	case TokSymbol:
+		if t.Text == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf("unexpected token in expression")
+}
+
+func (p *Parser) parseFuncCall(name string) (Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	fn := &FuncExpr{Name: strings.ToUpper(name)}
+	if p.acceptSymbol("*") {
+		fn.Star = true
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return fn, nil
+	}
+	if p.acceptSymbol(")") {
+		return nil, p.errorf("%s requires an argument", fn.Name)
+	}
+	for {
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fn.Args = append(fn.Args, arg)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return fn, nil
+}
+
+func (p *Parser) parseCase() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	ce := &CaseExpr{}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, CaseWhen{Cond: cond, Then: then})
+	}
+	if len(ce.Whens) == 0 {
+		return nil, p.errorf("CASE requires at least one WHEN arm")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}

@@ -1,0 +1,136 @@
+package tpch
+
+import "sort"
+
+// Queries holds the benchmark statements, adapted to the engine's SQL
+// subset (derived tables are inlined; EXTRACT(YEAR FROM x) is YEAR(x)).
+// Q5, Q7, Q8, and Q9 are the paper's Table 1 / Figure 4 workload.
+var queries = map[string]string{
+	// Q3: shipping priority (3-way join with aggregation).
+	"Q3": `
+SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING'
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < DATE '1995-03-15'
+  AND l_shipdate > DATE '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate`,
+
+	// Q5: local supplier volume (6-way join; paper workload).
+	"Q5": `
+SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey
+  AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= DATE '1994-01-01'
+  AND o_orderdate < DATE '1995-01-01'
+GROUP BY n_name
+ORDER BY revenue DESC`,
+
+	// Q6: forecasting revenue change (single table; the paper notes its
+	// cost distribution is "random noise" — ablation E10).
+	"Q6": `
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '1994-01-01'
+  AND l_shipdate < DATE '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24`,
+
+	// Q7: volume shipping (6-way join with a disjunctive cross-relation
+	// predicate; paper workload).
+	"Q7": `
+SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+       YEAR(l_shipdate) AS l_year,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM supplier, lineitem, orders, customer, nation n1, nation n2
+WHERE s_suppkey = l_suppkey
+  AND o_orderkey = l_orderkey
+  AND c_custkey = o_custkey
+  AND s_nationkey = n1.n_nationkey
+  AND c_nationkey = n2.n_nationkey
+  AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+    OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))
+  AND l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+GROUP BY n1.n_name, n2.n_name, YEAR(l_shipdate)
+ORDER BY supp_nation, cust_nation, l_year`,
+
+	// Q8: national market share (8-way join, CASE inside SUM; paper
+	// workload — the largest space in Table 1).
+	"Q8": `
+SELECT YEAR(o_orderdate) AS o_year,
+       SUM(CASE WHEN n2.n_name = 'BRAZIL'
+                THEN l_extendedprice * (1 - l_discount)
+                ELSE 0 END)
+       / SUM(l_extendedprice * (1 - l_discount)) AS mkt_share
+FROM part, supplier, lineitem, orders, customer, nation n1, nation n2, region
+WHERE p_partkey = l_partkey
+  AND s_suppkey = l_suppkey
+  AND l_orderkey = o_orderkey
+  AND o_custkey = c_custkey
+  AND c_nationkey = n1.n_nationkey
+  AND n1.n_regionkey = r_regionkey
+  AND r_name = 'AMERICA'
+  AND s_nationkey = n2.n_nationkey
+  AND o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+  AND p_type = 'ECONOMY ANODIZED STEEL'
+GROUP BY YEAR(o_orderdate)
+ORDER BY o_year`,
+
+	// Q9: product type profit measure (6-way join with LIKE; paper
+	// workload).
+	"Q9": `
+SELECT n_name AS nation, YEAR(o_orderdate) AS o_year,
+       SUM(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) AS sum_profit
+FROM part, supplier, lineitem, partsupp, orders, nation
+WHERE s_suppkey = l_suppkey
+  AND ps_suppkey = l_suppkey
+  AND ps_partkey = l_partkey
+  AND p_partkey = l_partkey
+  AND o_orderkey = l_orderkey
+  AND s_nationkey = n_nationkey
+  AND p_name LIKE '%green%'
+GROUP BY n_name, YEAR(o_orderdate)
+ORDER BY nation, o_year DESC`,
+
+	// Q10: returned item reporting (4-way join).
+	"Q10": `
+SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name, c_address, c_phone
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate >= DATE '1993-10-01'
+  AND o_orderdate < DATE '1994-01-01'
+  AND l_returnflag = 'R'
+  AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address
+ORDER BY revenue DESC`,
+}
+
+// Query returns the SQL text of a named query.
+func Query(name string) (string, bool) {
+	q, ok := queries[name]
+	return q, ok
+}
+
+// QueryNames returns the available query names in sorted order.
+func QueryNames() []string {
+	names := make([]string, 0, len(queries))
+	for n := range queries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PaperQueries are the four join-intensive queries of Table 1/Figure 4.
+func PaperQueries() []string { return []string{"Q5", "Q7", "Q8", "Q9"} }
