@@ -53,25 +53,25 @@ func benchSamples() int {
 	return 10000
 }
 
-func db(b *testing.B) *storage.DB {
+func db(tb testing.TB) *storage.DB {
 	benchOnce.Do(func() {
 		benchDB, benchErr = tpch.NewDB(0.001, 42)
 	})
 	if benchErr != nil {
-		b.Fatal(benchErr)
+		tb.Fatal(benchErr)
 	}
 	return benchDB
 }
 
-func prepare(b *testing.B, query string, cross bool) *engine.Prepared {
-	b.Helper()
+func prepare(tb testing.TB, query string, cross bool) *engine.Prepared {
+	tb.Helper()
 	sqlText, ok := tpch.Query(query)
 	if !ok {
-		b.Fatalf("unknown query %s", query)
+		tb.Fatalf("unknown query %s", query)
 	}
-	p, err := engine.New(db(b), engine.WithCartesian(cross)).Prepare(sqlText)
+	p, err := engine.New(db(tb), engine.WithCartesian(cross)).Prepare(sqlText)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return p
 }
@@ -147,6 +147,121 @@ func BenchmarkSampling(b *testing.B) {
 			}
 		})
 	}
+}
+
+// dualSpaces prepares one TPC-H query twice over the same memo: the
+// uint64 fast path and the big.Int path forced via the test hook, so
+// the dual-path benchmarks compare identical spaces.
+func dualSpaces(tb testing.TB, q string) (fast, bigPath *core.Space) {
+	tb.Helper()
+	p := prepare(tb, q, false)
+	if !p.FitsUint64() {
+		tb.Fatalf("%s space %s exceeds uint64; benchmark fixture invalid", q, p.Count())
+	}
+	bigPath, err := core.Prepare(p.Opt.Memo, core.WithBigArithmetic())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return p.Space, bigPath
+}
+
+// BenchmarkUnrank compares the two arithmetic paths of the tentpole
+// refactor on TPC-H-scale spaces: mixed-radix decomposition of
+// pre-drawn ranks into plans. The uint64 path reuses one arena and must
+// run with ~0 allocs/op; the big.Int path is the former implementation.
+// Results are recorded in BENCH_core.json.
+func BenchmarkUnrank(b *testing.B) {
+	for _, q := range []string{"Q5", "Q8", "Q9"} {
+		fast, bigPath := dualSpaces(b, q)
+		smp, err := fast.NewSampler(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ranks := make([]uint64, 1024)
+		if err := smp.SampleRanks(ranks); err != nil {
+			b.Fatal(err)
+		}
+		bigRanks := make([]*big.Int, len(ranks))
+		for i, r := range ranks {
+			bigRanks[i] = new(big.Int).SetUint64(r)
+		}
+		b.Run(q+"/uint64", func(b *testing.B) {
+			var arena core.Arena
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fast.UnrankInto(ranks[i%len(ranks)], &arena); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(q+"/big", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bigPath.Unrank(bigRanks[i%len(bigRanks)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSample compares full uniform sampling (rank generation +
+// unranking) across the two arithmetic paths. The uint64 path draws
+// native ranks and decomposes into a reused arena — the steady-state
+// sampling loop of the experiments pipeline.
+func BenchmarkSample(b *testing.B) {
+	for _, q := range []string{"Q5", "Q8", "Q9"} {
+		fast, bigPath := dualSpaces(b, q)
+		b.Run(q+"/uint64", func(b *testing.B) {
+			smp, err := fast.NewSampler(2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var arena core.Arena
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fast.UnrankInto(smp.NextRank64(), &arena); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(q+"/big", func(b *testing.B) {
+			smp, err := bigPath.NewSampler(2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := smp.Next(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSampleRanks measures pure rank generation on the batched
+// uint64 API — the number a sampling service would quote as raw
+// rank throughput.
+func BenchmarkSampleRanks(b *testing.B) {
+	fast, _ := dualSpaces(b, "Q9")
+	smp, err := fast.NewSampler(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]uint64, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := smp.SampleRanks(dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(dst) * 8))
 }
 
 // BenchmarkOptimize measures the substrate: memo expansion, cardinality

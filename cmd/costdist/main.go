@@ -69,8 +69,8 @@ func run(sf float64, seed int64, samples int, sseed int64, table1, figure4, prun
 					return err
 				}
 				rows = append(rows, row)
-				fmt.Printf("  %s cross=%v: count in %v, %d samples in %v\n",
-					row.Query, row.Cross, row.CountTime, row.Sample, row.SampleTime)
+				fmt.Printf("  %s cross=%v: count in %v, %d samples in %v (%s arithmetic)\n",
+					row.Query, row.Cross, row.CountTime, row.Sample, row.SampleTime, row.Arith)
 			}
 		}
 		fmt.Println()

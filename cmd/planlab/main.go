@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/plan"
 	"repro/internal/tpch"
 )
 
@@ -36,19 +37,20 @@ func main() {
 		explain = flag.Bool("explain", false, "print the optimal plan and its rank")
 		jsonOut = flag.Bool("json", false, "dump the counted space (groups, operators, counts, links) as JSON")
 		useplan = flag.String("useplan", "", "unrank this plan number and print it")
+		enum    = flag.Int("enum", 0, "enumerate the first n plans in rank order and print them")
 		sample  = flag.Int("sample", 0, "sample this many plans uniformly and print them")
 		sseed   = flag.Int64("sample-seed", 1, "sampling seed")
 		execute = flag.Bool("execute", false, "execute the selected plan (optimal, -useplan, or USEPLAN option)")
 	)
 	flag.Parse()
-	if err := run(*sf, *seed, *query, *sqlText, *cross, *count, *dump, *explain, *jsonOut, *useplan, *sample, *sseed, *execute); err != nil {
+	if err := run(*sf, *seed, *query, *sqlText, *cross, *count, *dump, *explain, *jsonOut, *useplan, *enum, *sample, *sseed, *execute); err != nil {
 		fmt.Fprintln(os.Stderr, "planlab:", err)
 		os.Exit(1)
 	}
 }
 
 func run(sf float64, seed int64, query, sqlText string, cross, count, dump, explain, jsonOut bool,
-	useplan string, sample int, sseed int64, execute bool) error {
+	useplan string, enum, sample int, sseed int64, execute bool) error {
 
 	if sqlText == "" {
 		if query == "" {
@@ -72,8 +74,8 @@ func run(sf float64, seed int64, query, sqlText string, cross, count, dump, expl
 	}
 
 	st := p.Opt.Memo.Stats()
-	fmt.Printf("space: %s plans | %d groups, %d logical + %d physical operators (%d enforcers)\n",
-		p.Count(), st.Groups, st.LogicalOps, st.PhysicalOps, st.EnforcerOps)
+	fmt.Printf("space: %s plans | %d groups, %d logical + %d physical operators (%d enforcers) | arithmetic: %s\n",
+		p.Count(), st.Groups, st.LogicalOps, st.PhysicalOps, st.EnforcerOps, p.Space.Arithmetic())
 
 	if count {
 		fmt.Printf("N = %s\n", p.Count())
@@ -113,6 +115,26 @@ func run(sf float64, seed int64, query, sqlText string, cross, count, dump, expl
 			return err
 		}
 		fmt.Printf("plan %s (scaled cost %.3f):\n%s", r, sc, pl)
+	}
+	if enum > 0 {
+		// EnumerateRange dispatches to the uint64 fast path internally
+		// and slices huge spaces on the big.Int path.
+		var printErr error
+		err := p.Space.EnumerateRange(big.NewInt(0), big.NewInt(int64(enum)), func(r *big.Int, pl *plan.Node) bool {
+			sc, cerr := p.ScaledCost(pl)
+			if cerr != nil {
+				printErr = cerr
+				return false
+			}
+			fmt.Printf("--- plan %s (scaled cost %.3f):\n%s", r, sc, pl)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if printErr != nil {
+			return printErr
+		}
 	}
 	if sample > 0 {
 		smp, err := p.Sampler(sseed)

@@ -17,13 +17,23 @@
 //
 // and unranking decomposes a rank into a root-operator choice plus one
 // sub-rank per child slot in the mixed-radix system with digit bases
-// b_v(i) (Section 3.3). All arithmetic uses math/big: Table 1's spaces
-// reach 4.4·10^12 plans and grow beyond int64 for larger queries.
+// b_v(i) (Section 3.3).
+//
+// Arithmetic is dual-path. Counting runs bottom-up twice in one pass:
+// in math/big (the reference, always available — spaces grow beyond
+// int64 for larger queries) and in overflow-checked uint64. When the
+// total N and every reachable base fit in 64 bits — true for all of
+// Table 1, which tops out at 4.4·10^12 — rank selection, mixed-radix
+// decomposition, ranking, and the sampler's rejection loop run on
+// native uint64 with no big.Int allocations (see fast.go); otherwise
+// everything falls back to the big.Int path. WithBigArithmetic forces
+// the fallback so tests can exercise both paths on the same memo.
 package core
 
 import (
 	"fmt"
 	"math/big"
+	"math/bits"
 
 	"repro/internal/memo"
 	"repro/internal/plan"
@@ -35,7 +45,8 @@ var bigOne = big.NewInt(1)
 type Option func(*config)
 
 type config struct {
-	keep func(*memo.Expr) bool
+	keep     func(*memo.Expr) bool
+	forceBig bool
 }
 
 // WithFilter restricts the space to operators for which keep returns
@@ -43,6 +54,15 @@ type config struct {
 // optimizer would retain; tests use it to carve sub-spaces.
 func WithFilter(keep func(*memo.Expr) bool) Option {
 	return func(c *config) { c.keep = keep }
+}
+
+// WithBigArithmetic disables the uint64 fast path even when the space
+// fits, forcing every Unrank/Rank/sampler call through math/big. It is
+// the test hook behind the differential and property tests that run
+// both arithmetic paths over the same memo and require bit-identical
+// results.
+func WithBigArithmetic() Option {
+	return func(c *config) { c.forceBig = true }
 }
 
 // exprInfo is the materialized link structure of one operator: the
@@ -54,6 +74,17 @@ type exprInfo struct {
 	b      []*big.Int   // b[i] = Σ N over cands[i]
 	prefix [][]*big.Int // prefix[i][j] = Σ_{k<j} N(cands[i][k])
 	n      *big.Int     // N(expr)
+
+	// uint64 mirrors of n, b, and prefix, computed by the same
+	// bottom-up pass with overflow-checked arithmetic. Valid only when
+	// fits is true; a node whose own count, any base, or any child
+	// overflowed 64 bits has fits false and is served by the big.Int
+	// path. (If N(v) > 0 fits, every b_v(i) and prefix fits too, since
+	// each divides or bounds N(v).)
+	fits     bool
+	n64      uint64
+	b64      []uint64
+	prefix64 [][]uint64
 }
 
 // Space is a frozen, counted search space. It is immutable after Prepare
@@ -66,6 +97,13 @@ type Space struct {
 	rootOps []*memo.Expr
 	prefix  []*big.Int // prefix sums of N over rootOps
 	total   *big.Int
+
+	// uint64 fast path: valid only when fits is true, i.e. the total
+	// count (and therefore every reachable base and prefix sum) fits in
+	// uint64 and WithBigArithmetic was not given.
+	fits     bool
+	total64  uint64
+	prefix64 []uint64
 }
 
 // Prepare materializes links and counts the space. It is the
@@ -106,17 +144,31 @@ func Prepare(m *memo.Memo, opts ...Option) (*Space, error) {
 
 	s.total = new(big.Int)
 	s.prefix = []*big.Int{new(big.Int)} // prefix[0] = 0
+	fits := !cfg.forceBig
+	var total64 uint64
+	prefix64 := []uint64{0}
 	for _, e := range m.Root.Physical {
 		if !cfg.keep(e) {
 			continue
 		}
-		n := s.info[e.ID].n
-		if n.Sign() == 0 {
+		info := s.info[e.ID]
+		if info.n.Sign() == 0 {
 			continue // cannot form a complete plan; covers no ranks
 		}
 		s.rootOps = append(s.rootOps, e)
-		s.total = new(big.Int).Add(s.total, n)
+		s.total = new(big.Int).Add(s.total, info.n)
 		s.prefix = append(s.prefix, new(big.Int).Set(s.total))
+		if fits && info.fits {
+			var carry uint64
+			total64, carry = bits.Add64(total64, info.n64, 0)
+			fits = carry == 0
+		} else {
+			fits = false
+		}
+		prefix64 = append(prefix64, total64)
+	}
+	if fits {
+		s.fits, s.total64, s.prefix64 = true, total64, prefix64
 	}
 	return s, nil
 }
@@ -156,14 +208,29 @@ func (s *Space) count(e *memo.Expr, cfg *config) (*big.Int, error) {
 	}
 	info.cands = slots
 
-	// N(v) = Π b_v(i) with b_v(i) = Σ N(w); leaves have N(v) = 1.
+	// N(v) = Π b_v(i) with b_v(i) = Σ N(w); leaves have N(v) = 1. The
+	// uint64 mirror runs the same recurrence with checked arithmetic:
+	// any carry or high product word poisons this node's fast path, and
+	// a poisoned (or force-big) node carries no mirror arrays at all —
+	// spaces beyond 2^64 should not pay double counting memory.
 	info.n = new(big.Int).Set(bigOne)
 	info.b = make([]*big.Int, len(slots))
 	info.prefix = make([][]*big.Int, len(slots))
+	info.fits = !cfg.forceBig
+	if info.fits {
+		info.n64 = 1
+		info.b64 = make([]uint64, len(slots))
+		info.prefix64 = make([][]uint64, len(slots))
+	}
 	for i, cands := range slots {
 		b := new(big.Int)
 		prefix := make([]*big.Int, 0, len(cands)+1)
 		prefix = append(prefix, new(big.Int))
+		var b64 uint64
+		var prefix64 []uint64
+		if info.fits {
+			prefix64 = make([]uint64, 1, len(cands)+1)
+		}
 		for _, c := range cands {
 			nc, err := s.count(c, cfg)
 			if err != nil {
@@ -171,10 +238,36 @@ func (s *Space) count(e *memo.Expr, cfg *config) (*big.Int, error) {
 			}
 			b = new(big.Int).Add(b, nc)
 			prefix = append(prefix, new(big.Int).Set(b))
+			if info.fits {
+				if cinfo := s.info[c.ID]; cinfo.fits {
+					var carry uint64
+					b64, carry = bits.Add64(b64, cinfo.n64, 0)
+					if carry != 0 {
+						info.fits = false
+					} else {
+						prefix64 = append(prefix64, b64)
+					}
+				} else {
+					info.fits = false
+				}
+			}
 		}
 		info.b[i] = b
 		info.prefix[i] = prefix
 		info.n.Mul(info.n, b)
+		if info.fits {
+			info.b64[i] = b64
+			info.prefix64[i] = prefix64
+			hi, lo := bits.Mul64(info.n64, b64)
+			if hi != 0 {
+				info.fits = false
+			} else {
+				info.n64 = lo
+			}
+		}
+	}
+	if !info.fits {
+		info.n64, info.b64, info.prefix64 = 0, nil, nil
 	}
 	return info.n, nil
 }
@@ -182,6 +275,27 @@ func (s *Space) count(e *memo.Expr, cfg *config) (*big.Int, error) {
 // Count returns N, the number of complete execution plans the space
 // encodes. The returned value must not be mutated.
 func (s *Space) Count() *big.Int { return s.total }
+
+// FitsUint64 reports whether the uint64 fast path is active: the total
+// N (and with it every base and prefix sum reachable during unranking)
+// fits in 64 bits and WithBigArithmetic was not given. When true,
+// Unrank64, Rank64, UnrankInto, SampleRanks, and the pull iterator are
+// available and Unrank/Rank/Sampler dispatch to uint64 arithmetic
+// internally.
+func (s *Space) FitsUint64() bool { return s.fits }
+
+// CountUint64 returns N as a native uint64 when the fast path is
+// active; ok is false on the big.Int path.
+func (s *Space) CountUint64() (n uint64, ok bool) { return s.total64, s.fits }
+
+// Arithmetic names the path serving the space — "uint64" or "big" —
+// the canonical label for exports, reports, and CLIs.
+func (s *Space) Arithmetic() string {
+	if s.fits {
+		return "uint64"
+	}
+	return "big"
+}
 
 // CountFor returns N(v) for a specific operator — the number of plans
 // rooted in it (Figure 3's per-operator annotations). Zero for operators

@@ -10,24 +10,34 @@ import (
 // with each (rank, plan) until yield returns false or the space is
 // exhausted. This is the paper's exhaustive generation mode, used "when
 // the space of alternatives is small enough for exhaustive testing".
+// Yielded plans are freshly allocated and may be retained; for a
+// zero-allocation scan use the pull-based iterator (NewIter).
 func (s *Space) Enumerate(yield func(r *big.Int, p *plan.Node) bool) error {
-	r := new(big.Int)
-	for r.Cmp(s.total) < 0 {
-		p, err := s.Unrank(r)
-		if err != nil {
-			return err
-		}
-		if !yield(new(big.Int).Set(r), p) {
-			return nil
-		}
-		r.Add(r, bigOne)
-	}
-	return nil
+	return s.EnumerateRange(new(big.Int), s.total, yield)
 }
 
 // EnumerateRange visits plans with ranks in [lo, hi) in order, for
 // slicing very large spaces into testable chunks.
 func (s *Space) EnumerateRange(lo, hi *big.Int, yield func(r *big.Int, p *plan.Node) bool) error {
+	if s.fits && lo.Sign() >= 0 && lo.IsUint64() {
+		if hi.Sign() <= 0 {
+			return nil
+		}
+		h := s.total64
+		if hi.IsUint64() && hi.Uint64() < h {
+			h = hi.Uint64()
+		}
+		for r := lo.Uint64(); r < h; r++ {
+			p, err := s.unrank64(r, nil)
+			if err != nil {
+				return err
+			}
+			if !yield(new(big.Int).SetUint64(r), p) {
+				return nil
+			}
+		}
+		return nil
+	}
 	r := new(big.Int).Set(lo)
 	for r.Cmp(hi) < 0 && r.Cmp(s.total) < 0 {
 		p, err := s.Unrank(r)
@@ -41,6 +51,74 @@ func (s *Space) EnumerateRange(lo, hi *big.Int, yield func(r *big.Int, p *plan.N
 	}
 	return nil
 }
+
+// PlanIter is a pull-based enumerator over a rank range on the uint64
+// fast path. It reuses one scratch Arena for the mixed-radix
+// decomposition, so a full scan performs no per-plan heap allocation;
+// the plan returned by Plan is valid only until the next call to Next.
+//
+//	it, err := space.NewIter()
+//	for it.Next() {
+//		use(it.Rank(), it.Plan()) // do not retain it.Plan()
+//	}
+//	err = it.Err()
+type PlanIter struct {
+	s     *Space
+	next  uint64
+	hi    uint64
+	rank  uint64
+	plan  *plan.Node
+	arena Arena
+	err   error
+}
+
+// NewIter returns a pull iterator over the whole space in rank order.
+// It requires the uint64 fast path: a space beyond uint64 cannot be
+// exhaustively scanned anyway.
+func (s *Space) NewIter() (*PlanIter, error) {
+	if !s.fits {
+		return nil, errTooLarge(s.total)
+	}
+	return &PlanIter{s: s, hi: s.total64}, nil
+}
+
+// NewRangeIter returns a pull iterator over ranks [lo, hi) (hi clamped
+// to N).
+func (s *Space) NewRangeIter(lo, hi uint64) (*PlanIter, error) {
+	if !s.fits {
+		return nil, errTooLarge(s.total)
+	}
+	if hi > s.total64 {
+		hi = s.total64
+	}
+	return &PlanIter{s: s, next: lo, hi: hi}, nil
+}
+
+// Next advances to the next plan, reporting false when the range is
+// exhausted or unranking failed (see Err).
+func (it *PlanIter) Next() bool {
+	if it.err != nil || it.next >= it.hi {
+		return false
+	}
+	p, err := it.s.UnrankInto(it.next, &it.arena)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.rank, it.plan = it.next, p
+	it.next++
+	return true
+}
+
+// Rank returns the rank of the current plan.
+func (it *PlanIter) Rank() uint64 { return it.rank }
+
+// Plan returns the current plan. It lives in the iterator's arena and
+// is overwritten by the next call to Next; copy it to retain it.
+func (it *PlanIter) Plan() *plan.Node { return it.plan }
+
+// Err returns the first unranking error, if any.
+func (it *PlanIter) Err() error { return it.err }
 
 // All collects every plan of the space; callers must check Count first —
 // this is intended for the small spaces of unit tests and exhaustive

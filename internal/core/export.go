@@ -10,7 +10,10 @@ import (
 // paper's validation workflow scripts around the engine; dumping the MEMO
 // with its counts makes failures reproducible outside the process).
 type Export struct {
-	TotalPlans string        `json:"total_plans"`
+	TotalPlans string `json:"total_plans"`
+	// Arithmetic records which engine serves the space: "uint64" when
+	// the overflow-checked count fits 64 bits, "big" otherwise.
+	Arithmetic string        `json:"arithmetic"`
 	Groups     []ExportGroup `json:"groups"`
 }
 
@@ -43,7 +46,7 @@ type ExportOp struct {
 // ExportJSON serializes the counted space: every group, every physical
 // operator with its N(v), and the materialized candidate links.
 func (s *Space) ExportJSON() ([]byte, error) {
-	out := Export{TotalPlans: s.total.String()}
+	out := Export{TotalPlans: s.total.String(), Arithmetic: s.Arithmetic()}
 	for _, g := range s.Memo.Groups {
 		eg := ExportGroup{
 			ID:     g.ID,

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/memo"
+	"repro/internal/plan"
+)
+
+// This file is the uint64 arithmetic path: the same bijection as
+// unrank.go, but with every base, prefix sum, and rank a native uint64.
+// It is only reachable when Space.FitsUint64() is true, which Prepare
+// establishes with overflow-checked counting; within that regime the
+// mixed-radix decomposition cannot overflow (every intermediate value
+// is bounded by the total).
+
+// Arena is a reusable allocation buffer for the fast unranking path.
+// Plan nodes and child-pointer slices are carved out of backing arrays
+// that are truncated — not freed — between calls, so steady-state
+// UnrankInto performs zero heap allocations. Plans built from an Arena
+// are valid only until the next call that resets it; callers that
+// retain plans must use Unrank64 (fresh allocations) instead. The zero
+// value is ready to use. An Arena must not be shared across goroutines.
+type Arena struct {
+	nodes []plan.Node
+	kids  []*plan.Node
+}
+
+// Reset recycles the arena, invalidating all plans previously built
+// from it.
+func (a *Arena) Reset() {
+	a.nodes = a.nodes[:0]
+	a.kids = a.kids[:0]
+}
+
+func (a *Arena) newNode(e *memo.Expr) *plan.Node {
+	a.nodes = append(a.nodes, plan.Node{Expr: e})
+	return &a.nodes[len(a.nodes)-1]
+}
+
+func (a *Arena) newChildren(k int) []*plan.Node {
+	start := len(a.kids)
+	for i := 0; i < k; i++ {
+		a.kids = append(a.kids, nil)
+	}
+	return a.kids[start : start+k : start+k]
+}
+
+// errBigOnly reports use of a uint64-only entry point on a space served
+// by the big.Int path.
+func (s *Space) errBigOnly() error {
+	return fmt.Errorf("core: space holds %s plans, beyond the uint64 fast path; use the big.Int API", s.total)
+}
+
+// Unrank64 constructs the plan with rank r on the uint64 fast path,
+// allocating fresh nodes (the returned plan is independent of the
+// space and of any arena). It fails when the space exceeds uint64 or
+// was forced onto the big.Int path.
+func (s *Space) Unrank64(r uint64) (*plan.Node, error) {
+	return s.unrank64(r, nil)
+}
+
+// UnrankInto is Unrank64 building the plan inside a, reusing its
+// buffers: after the arena has warmed up, the call performs no heap
+// allocation. The returned plan is valid until the next UnrankInto or
+// Reset on the same arena.
+func (s *Space) UnrankInto(r uint64, a *Arena) (*plan.Node, error) {
+	if a == nil {
+		return s.unrank64(r, nil)
+	}
+	a.Reset()
+	return s.unrank64(r, a)
+}
+
+func (s *Space) unrank64(r uint64, a *Arena) (*plan.Node, error) {
+	if !s.fits {
+		return nil, s.errBigOnly()
+	}
+	if r >= s.total64 {
+		return nil, fmt.Errorf("core: rank %d out of range [0, %d)", r, s.total64)
+	}
+	k := selectByPrefix64(s.prefix64, r)
+	return s.unrankExpr64(s.rootOps[k], r-s.prefix64[k], a)
+}
+
+// unrankExpr64 mirrors unrankExpr with native arithmetic; a == nil
+// means heap-allocate each node.
+func (s *Space) unrankExpr64(e *memo.Expr, rl uint64, a *Arena) (*plan.Node, error) {
+	info := s.info[e.ID]
+	if info == nil {
+		return nil, fmt.Errorf("core: operator %s is not part of this space", e.Name())
+	}
+	var node *plan.Node
+	if a != nil {
+		node = a.newNode(e)
+	} else {
+		node = &plan.Node{Expr: e}
+	}
+	if len(info.cands) == 0 {
+		if rl != 0 {
+			return nil, fmt.Errorf("core: leaf operator %s given non-zero local rank %d", e.Name(), rl)
+		}
+		return node, nil
+	}
+	if a != nil {
+		node.Children = a.newChildren(len(info.cands))
+	} else {
+		node.Children = make([]*plan.Node, len(info.cands))
+	}
+	rem := rl
+	for i := range info.cands {
+		b := info.b64[i]
+		if b == 0 {
+			return nil, fmt.Errorf("core: operator %s has no candidates for child %d", e.Name(), i)
+		}
+		sub := rem % b
+		rem /= b
+		prefix := info.prefix64[i]
+		j := selectByPrefix64(prefix, sub)
+		child, err := s.unrankExpr64(info.cands[i][j], sub-prefix[j], a)
+		if err != nil {
+			return nil, err
+		}
+		node.Children[i] = child
+	}
+	if rem != 0 {
+		return nil, fmt.Errorf("core: local rank overflow at operator %s", e.Name())
+	}
+	return node, nil
+}
+
+// selectByPrefix64 is selectByPrefix on native integers: the index k
+// with prefix[k] <= r < prefix[k+1]. Candidate lists are short, so the
+// linear scan beats binary search.
+func selectByPrefix64(prefix []uint64, r uint64) int {
+	k := 0
+	for k+1 < len(prefix)-1 && prefix[k+1] <= r {
+		k++
+	}
+	return k
+}
+
+// Rank64 computes the rank of a plan on the uint64 fast path — the
+// inverse of Unrank64.
+func (s *Space) Rank64(n *plan.Node) (uint64, error) {
+	if !s.fits {
+		return 0, s.errBigOnly()
+	}
+	for k, e := range s.rootOps {
+		if e == n.Expr {
+			local, err := s.rankExpr64(n)
+			if err != nil {
+				return 0, err
+			}
+			return local + s.prefix64[k], nil
+		}
+	}
+	return 0, fmt.Errorf("core: plan root %s is not a root-group operator of this space", n.Expr.Name())
+}
+
+func (s *Space) rankExpr64(n *plan.Node) (uint64, error) {
+	info := s.info[n.Expr.ID]
+	if info == nil {
+		return 0, fmt.Errorf("core: operator %s is not part of this space", n.Expr.Name())
+	}
+	if len(n.Children) != len(info.cands) {
+		return 0, fmt.Errorf("core: operator %s has %d child slots, plan node has %d",
+			n.Expr.Name(), len(info.cands), len(n.Children))
+	}
+	var rl uint64
+	base := uint64(1)
+	for i, child := range n.Children {
+		j := -1
+		for idx, c := range info.cands[i] {
+			if c == child.Expr {
+				j = idx
+				break
+			}
+		}
+		if j < 0 {
+			return 0, fmt.Errorf("core: %s is not a valid child %d of %s in this space",
+				child.Expr.Name(), i, n.Expr.Name())
+		}
+		childLocal, err := s.rankExpr64(child)
+		if err != nil {
+			return 0, err
+		}
+		rl += (info.prefix64[i][j] + childLocal) * base
+		base *= info.b64[i]
+	}
+	return rl, nil
+}
+
+// UnrankBatch unranks every rank into a freshly allocated plan. It is
+// the bulk companion of Sampler.SampleRanks: draw a batch of ranks,
+// then materialize the plans that must outlive any arena.
+func (s *Space) UnrankBatch(ranks []uint64) ([]*plan.Node, error) {
+	if !s.fits {
+		return nil, s.errBigOnly()
+	}
+	out := make([]*plan.Node, len(ranks))
+	for i, r := range ranks {
+		p, err := s.unrank64(r, nil)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}

@@ -13,13 +13,26 @@ import (
 // of uniform plan sampling to random number generation. A Sampler is
 // deterministic for a given seed (experiments are reproducible) and must
 // not be shared across goroutines; the underlying Space may be.
+//
+// Rejection sampling draws ⌈bits(N)/64⌉ generator words per attempt and
+// keeps the top bits(N) bits, succeeding with probability > 1/2. Both
+// arithmetic paths consume the generator identically, so a space forced
+// onto big.Int with WithBigArithmetic yields bit-identical rank
+// sequences to the uint64 fast path for the same seed.
 type Sampler struct {
 	space *Space
 	rng   *rand.Rand
 
-	bits  int
-	limit *big.Int
-	buf   []byte
+	shift uint     // top-word right shift so a draw has exactly bitlen(N) bits
+	limit *big.Int // == space.total
+
+	// uint64 fast path (active when the space fits).
+	fast    bool
+	limit64 uint64
+
+	// big.Int path scratch.
+	words []uint64
+	tmp   *big.Int
 }
 
 // NewSampler returns a seeded sampler over the space.
@@ -28,24 +41,71 @@ func (s *Space) NewSampler(seed int64) (*Sampler, error) {
 		return nil, fmt.Errorf("core: cannot sample from an empty space")
 	}
 	bits := s.total.BitLen()
-	return &Sampler{
+	nwords := (bits + 63) / 64
+	smp := &Sampler{
 		space: s,
 		rng:   rand.New(rand.NewSource(seed)),
-		bits:  bits,
+		shift: uint(nwords*64 - bits),
 		limit: s.total,
-		buf:   make([]byte, (bits+7)/8),
-	}, nil
+	}
+	if s.fits {
+		smp.fast = true
+		smp.limit64 = s.total64
+	} else {
+		smp.words = make([]uint64, nwords)
+		smp.tmp = new(big.Int)
+	}
+	return smp, nil
+}
+
+// Fast reports whether the sampler runs on the uint64 path; NextRank64
+// and SampleRanks require it.
+func (smp *Sampler) Fast() bool { return smp.fast }
+
+// NextRank64 returns a uniform rank in [0, N) on the uint64 path with
+// no heap allocation. It panics when the space is served by big.Int —
+// check Fast (or Space.FitsUint64) first.
+func (smp *Sampler) NextRank64() uint64 {
+	if !smp.fast {
+		panic("core: NextRank64 on a big.Int-path sampler; check Fast()")
+	}
+	for {
+		if v := smp.rng.Uint64() >> smp.shift; v < smp.limit64 {
+			return v
+		}
+	}
+}
+
+// SampleRanks fills dst with uniform ranks in [0, N) — the batched,
+// allocation-free form of NextRank64. Pair with Space.UnrankBatch (or
+// UnrankInto under one arena) to materialize the plans.
+func (smp *Sampler) SampleRanks(dst []uint64) error {
+	if !smp.fast {
+		return smp.space.errBigOnly()
+	}
+	for i := range dst {
+		dst[i] = smp.NextRank64()
+	}
+	return nil
 }
 
 // NextRank returns a uniform rank in [0, N) by rejection sampling on
 // bit-strings of N's length: each draw succeeds with probability > 1/2,
 // so the expected number of draws is below 2.
 func (smp *Sampler) NextRank() *big.Int {
-	shift := uint(len(smp.buf)*8 - smp.bits)
+	if smp.fast {
+		return new(big.Int).SetUint64(smp.NextRank64())
+	}
 	for {
-		smp.rng.Read(smp.buf)
-		smp.buf[0] >>= shift
-		r := new(big.Int).SetBytes(smp.buf)
+		for i := range smp.words {
+			smp.words[i] = smp.rng.Uint64()
+		}
+		smp.words[0] >>= smp.shift
+		r := new(big.Int)
+		for _, w := range smp.words {
+			r.Lsh(r, 64)
+			r.Or(r, smp.tmp.SetUint64(w))
+		}
 		if r.Cmp(smp.limit) < 0 {
 			return r
 		}
@@ -54,6 +114,14 @@ func (smp *Sampler) NextRank() *big.Int {
 
 // Next draws one uniform plan with its rank.
 func (smp *Sampler) Next() (*big.Int, *plan.Node, error) {
+	if smp.fast {
+		r := smp.NextRank64()
+		p, err := smp.space.unrank64(r, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		return new(big.Int).SetUint64(r), p, nil
+	}
 	r := smp.NextRank()
 	p, err := smp.space.Unrank(r)
 	if err != nil {

@@ -12,9 +12,13 @@ import (
 // paper's Section 3.3: the root operator is selected by cumulative
 // counts, its local rank is decomposed into per-child sub-ranks in the
 // mixed-radix system with bases b_v(i), and each sub-rank is unranked
-// recursively in the child's candidate list. Unranking is O(m) big-int
-// operations for a plan of m operators.
+// recursively in the child's candidate list. Unranking is O(m)
+// arithmetic operations for a plan of m operators — native uint64 when
+// the space fits (see fast.go), big-int otherwise.
 func (s *Space) Unrank(r *big.Int) (*plan.Node, error) {
+	if s.fits && r.IsUint64() {
+		return s.unrank64(r.Uint64(), nil)
+	}
 	if r.Sign() < 0 || r.Cmp(s.total) >= 0 {
 		return nil, fmt.Errorf("core: rank %s out of range [0, %s)", r, s.total)
 	}
@@ -79,6 +83,13 @@ func selectByPrefix(prefix []*big.Int, r *big.Int) int {
 // Unrank. It is used by property tests (Rank(Unrank(r)) == r) and to
 // answer the paper's "what number did the optimizer's own choice get?".
 func (s *Space) Rank(n *plan.Node) (*big.Int, error) {
+	if s.fits {
+		r, err := s.Rank64(n)
+		if err != nil {
+			return nil, err
+		}
+		return new(big.Int).SetUint64(r), nil
+	}
 	for k, e := range s.rootOps {
 		if e == n.Expr {
 			local, err := s.rankExpr(n)

@@ -108,6 +108,17 @@ func (e *Engine) Prepare(sqlText string) (*Prepared, error) {
 // Count returns the number of execution plans in the space.
 func (p *Prepared) Count() *big.Int { return p.Space.Count() }
 
+// FitsUint64 reports whether the space runs on the uint64 fast path
+// (see core.Space.FitsUint64).
+func (p *Prepared) FitsUint64() bool { return p.Space.FitsUint64() }
+
+// CountUint64 returns the plan count as a native uint64 when the fast
+// path is active.
+func (p *Prepared) CountUint64() (uint64, bool) { return p.Space.CountUint64() }
+
+// Unrank64 returns plan number r on the uint64 fast path.
+func (p *Prepared) Unrank64(r uint64) (*plan.Node, error) { return p.Space.Unrank64(r) }
+
 // OptimalPlan returns the optimizer's chosen plan.
 func (p *Prepared) OptimalPlan() *plan.Node { return p.Opt.Best }
 

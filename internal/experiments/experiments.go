@@ -28,6 +28,7 @@ type Table1Row struct {
 	Query     string
 	Cross     bool // Cartesian products allowed (second half of the table)
 	Plans     *big.Int
+	Arith     string // arithmetic path serving the space: "uint64" or "big"
 	Sample    int
 	Min       float64
 	Mean      float64
@@ -70,23 +71,63 @@ func ScaledCosts(db *storage.DB, sqlText string, cross bool, cfg Config) ([]floa
 	if err != nil {
 		return nil, nil, err
 	}
-	smp, err := p.Sampler(cfg.Seed)
+	costs, err := sampleScaledCosts(p, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
+	return costs, p, nil
+}
+
+// sampleScaledCosts draws cfg.SampleSize uniform plans and costs them.
+// On the uint64 fast path it samples ranks in batches and unranks them
+// through one reused arena — the sampled plan is costed and discarded,
+// so no per-plan allocation survives the loop. The big.Int fallback
+// draws plan by plan; both paths see the same plans for the same seed.
+func sampleScaledCosts(p *engine.Prepared, cfg Config) ([]float64, error) {
+	smp, err := p.Sampler(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	costs := make([]float64, 0, cfg.SampleSize)
+	if smp.Fast() {
+		const chunk = 1024
+		ranks := make([]uint64, chunk)
+		var arena core.Arena
+		for remaining := cfg.SampleSize; remaining > 0; {
+			n := chunk
+			if remaining < n {
+				n = remaining
+			}
+			if err := smp.SampleRanks(ranks[:n]); err != nil {
+				return nil, err
+			}
+			for _, r := range ranks[:n] {
+				pl, err := p.Space.UnrankInto(r, &arena)
+				if err != nil {
+					return nil, err
+				}
+				sc, err := p.ScaledCost(pl)
+				if err != nil {
+					return nil, err
+				}
+				costs = append(costs, sc)
+			}
+			remaining -= n
+		}
+		return costs, nil
+	}
 	for i := 0; i < cfg.SampleSize; i++ {
 		_, pl, err := smp.Next()
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		sc, err := p.ScaledCost(pl)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		costs = append(costs, sc)
 	}
-	return costs, p, nil
+	return costs, nil
 }
 
 // Table1 computes one row of Table 1 for a named TPC-H query.
@@ -105,21 +146,9 @@ func Table1(db *storage.DB, query string, cross bool, cfg Config) (Table1Row, er
 	countTime := time.Since(countStart)
 
 	sampleStart := time.Now()
-	smp, err := p.Sampler(cfg.Seed)
+	costs, err := sampleScaledCosts(p, cfg)
 	if err != nil {
 		return Table1Row{}, err
-	}
-	costs := make([]float64, 0, cfg.SampleSize)
-	for i := 0; i < cfg.SampleSize; i++ {
-		_, pl, err := smp.Next()
-		if err != nil {
-			return Table1Row{}, err
-		}
-		sc, err := p.ScaledCost(pl)
-		if err != nil {
-			return Table1Row{}, err
-		}
-		costs = append(costs, sc)
 	}
 	sampleTime := time.Since(sampleStart)
 
@@ -128,6 +157,7 @@ func Table1(db *storage.DB, query string, cross bool, cfg Config) (Table1Row, er
 		Query:      query,
 		Cross:      cross,
 		Plans:      p.Count(),
+		Arith:      p.Space.Arithmetic(),
 		Sample:     cfg.SampleSize,
 		Min:        sum.Min,
 		Mean:       sum.Mean,

@@ -1,0 +1,114 @@
+package repro
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/tpch"
+)
+
+// TestTPCHDualPathRoundTrip is the TPC-H half of the property-test
+// satellite: for every named TPC-H query, ~1k uniformly random ranks
+// must round-trip Rank(Unrank(r)) == r on the uint64 fast path AND on
+// the big.Int path forced through the test hook — and the two paths
+// must produce bit-identical rank sequences and identical plans for the
+// same seed, which is the differential guarantee the dual-path engine
+// rests on.
+func TestTPCHDualPathRoundTrip(t *testing.T) {
+	iters := 1000
+	if testing.Short() {
+		iters = 100
+	}
+	for _, q := range tpch.QueryNames() {
+		t.Run(q, func(t *testing.T) {
+			p := prepare(t, q, false)
+			fast := p.Space
+			if !fast.FitsUint64() {
+				t.Fatalf("%s space %s exceeds uint64 at this scale", q, p.Count())
+			}
+			forced, err := core.Prepare(p.Opt.Memo, core.WithBigArithmetic())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if forced.FitsUint64() {
+				t.Fatal("forced big.Int space claims the uint64 path")
+			}
+
+			// Differential: counts agree across paths and across widths.
+			if fast.Count().Cmp(forced.Count()) != 0 {
+				t.Fatalf("counts differ: %s vs %s", fast.Count(), forced.Count())
+			}
+			if n, ok := fast.CountUint64(); !ok || new(big.Int).SetUint64(n).Cmp(fast.Count()) != 0 {
+				t.Fatalf("CountUint64 = %d, %v; want %s", n, ok, fast.Count())
+			}
+
+			fs, err := fast.NewSampler(77)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bs, err := forced.NewSampler(77)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var arena core.Arena
+			for i := 0; i < iters; i++ {
+				r := fs.NextRank64()
+				rb := bs.NextRank()
+				if !rb.IsUint64() || rb.Uint64() != r {
+					t.Fatalf("draw %d: fast rank %d, big rank %s", i, r, rb)
+				}
+				pf, err := fast.UnrankInto(r, &arena)
+				if err != nil {
+					t.Fatalf("UnrankInto(%d): %v", r, err)
+				}
+				pb, err := forced.Unrank(rb)
+				if err != nil {
+					t.Fatalf("big Unrank(%s): %v", rb, err)
+				}
+				if !plan.Equal(pf, pb) {
+					t.Fatalf("rank %d: plans differ across arithmetic paths", r)
+				}
+				back, err := fast.Rank64(pf)
+				if err != nil || back != r {
+					t.Fatalf("fast round trip %d -> %d, %v", r, back, err)
+				}
+				bigBack, err := forced.Rank(pb)
+				if err != nil || bigBack.Cmp(rb) != 0 {
+					t.Fatalf("big round trip %s -> %s, %v", rb, bigBack, err)
+				}
+			}
+		})
+	}
+}
+
+// TestTPCHOptimalPlanRankBothPaths: the optimizer's own plan carries
+// the same rank on both arithmetic paths for every TPC-H query.
+func TestTPCHOptimalPlanRankBothPaths(t *testing.T) {
+	for _, q := range tpch.QueryNames() {
+		p := prepare(t, q, false)
+		forced, err := core.Prepare(p.Opt.Memo, core.WithBigArithmetic())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rFast, err := p.Space.Rank(p.OptimalPlan())
+		if err != nil {
+			t.Fatalf("%s fast Rank: %v", q, err)
+		}
+		rBig, err := forced.Rank(p.OptimalPlan())
+		if err != nil {
+			t.Fatalf("%s big Rank: %v", q, err)
+		}
+		if rFast.Cmp(rBig) != 0 {
+			t.Fatalf("%s: optimal plan ranks differ, %s vs %s", q, rFast, rBig)
+		}
+		back, err := p.Unrank(rFast)
+		if err != nil {
+			t.Fatalf("%s Unrank: %v", q, err)
+		}
+		if !plan.Equal(back, p.OptimalPlan()) {
+			t.Fatalf("%s: Unrank(Rank(best)) != best", q)
+		}
+	}
+}
