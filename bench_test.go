@@ -205,6 +205,31 @@ func BenchmarkUnrank(b *testing.B) {
 			}
 		})
 	}
+
+	// Q8 with Cartesian products (~2.7·10^22 plans) overflows uint64, so
+	// its big.Int path is not a forced test hook but the real fallback —
+	// the row that prices what leaving the fast path costs in production.
+	b.Run("Q8cross/big", func(b *testing.B) {
+		p := prepare(b, "Q8", true)
+		if p.FitsUint64() {
+			b.Fatalf("Q8+cross space %s fits uint64; fixture invalid", p.Count())
+		}
+		smp, err := p.Sampler(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ranks := make([]*big.Int, 1024)
+		for i := range ranks {
+			ranks[i] = smp.NextRank()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Unrank(ranks[i%len(ranks)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSample compares full uniform sampling (rank generation +
@@ -242,6 +267,25 @@ func BenchmarkSample(b *testing.B) {
 			}
 		})
 	}
+
+	// The genuine big.Int fallback: see BenchmarkUnrank/Q8cross.
+	b.Run("Q8cross/big", func(b *testing.B) {
+		p := prepare(b, "Q8", true)
+		if p.FitsUint64() {
+			b.Fatalf("Q8+cross space %s fits uint64; fixture invalid", p.Count())
+		}
+		smp, err := p.Sampler(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := smp.Next(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSampleRanks measures pure rank generation on the batched
@@ -290,12 +334,47 @@ func BenchmarkOptimize(b *testing.B) {
 	}
 }
 
+// BenchmarkPrepare prices the space cache: cold runs the full pipeline
+// (parse, bind, optimize, count) against a fresh cache every iteration;
+// cached hits the fingerprint cache and pays only parse + digest + map
+// lookup. The ratio is the repeated-query speedup the plan-space
+// service is built around (acceptance: >= 50x on a TPC-H query).
+func BenchmarkPrepare(b *testing.B) {
+	sqlText, _ := tpch.Query("Q9")
+	b.Run("Q9/cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := engine.New(db(b), engine.WithCache(engine.NewSpaceCache(1)))
+			if _, err := e.Prepare(sqlText); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Q9/cached", func(b *testing.B) {
+		e := engine.New(db(b))
+		if _, err := e.Prepare(sqlText); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p, err := e.Prepare(sqlText)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !p.Cached {
+				b.Fatal("expected a cache hit")
+			}
+		}
+	})
+}
+
 // BenchmarkTable1 regenerates the paper's Table 1 (E1) and logs it.
 func BenchmarkTable1(b *testing.B) {
 	cfg := experiments.Config{SampleSize: benchSamples(), Seed: 1}
 	var rendered string
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table1All(db(b), cfg)
+		rows, err := experiments.Table1All(db(b), &cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -312,7 +391,7 @@ func BenchmarkFigure4(b *testing.B) {
 			var plot *experiments.Figure4Plot
 			for i := 0; i < b.N; i++ {
 				var err error
-				plot, err = experiments.Figure4(db(b), q, false, 40, cfg)
+				plot, err = experiments.Figure4(db(b), q, false, 40, &cfg)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -26,6 +26,7 @@ func main() {
 		sf       = flag.Float64("sf", 0.001, "TPC-H scale factor")
 		seed     = flag.Int64("seed", 42, "data generator seed")
 		samples  = flag.Int("samples", 10000, "plans sampled per query (paper: 10000)")
+		workers  = flag.Int("workers", 4, "sampling/costing workers (the drawn sample is deterministic per (seed, samples, workers))")
 		sseed    = flag.Int64("sample-seed", 1, "sampling seed")
 		table1   = flag.Bool("table1", false, "regenerate Table 1")
 		figure4  = flag.Bool("figure4", false, "regenerate Figure 4")
@@ -39,19 +40,19 @@ func main() {
 	if !*table1 && !*figure4 && !*prune {
 		*table1, *figure4 = true, true
 	}
-	if err := run(*sf, *seed, *samples, *sseed, *table1, *figure4, *prune, *buckets, *queries, *cross, *noLookup); err != nil {
+	if err := run(*sf, *seed, *samples, *workers, *sseed, *table1, *figure4, *prune, *buckets, *queries, *cross, *noLookup); err != nil {
 		fmt.Fprintln(os.Stderr, "costdist:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sf float64, seed int64, samples int, sseed int64, table1, figure4, prune bool, buckets int, queries string, cross, noLookup bool) error {
+func run(sf float64, seed int64, samples, workers int, sseed int64, table1, figure4, prune bool, buckets int, queries string, cross, noLookup bool) error {
 	fmt.Printf("generating TPC-H sf=%g seed=%d ...\n", sf, seed)
 	db, err := tpch.NewDB(sf, seed)
 	if err != nil {
 		return err
 	}
-	cfg := experiments.Config{SampleSize: samples, Seed: sseed}
+	cfg := experiments.Config{SampleSize: samples, Seed: sseed, Workers: workers}
 	if noLookup {
 		rc := rules.Default()
 		rc.EnableIndexNLJoin = false
@@ -64,13 +65,17 @@ func run(sf float64, seed int64, samples int, sseed int64, table1, figure4, prun
 		var rows []experiments.Table1Row
 		for _, cr := range []bool{false, true} {
 			for _, q := range names {
-				row, err := experiments.Table1(db, strings.TrimSpace(q), cr, cfg)
+				row, err := experiments.Table1(db, strings.TrimSpace(q), cr, &cfg)
 				if err != nil {
 					return err
 				}
 				rows = append(rows, row)
-				fmt.Printf("  %s cross=%v: count in %v, %d samples in %v (%s arithmetic)\n",
-					row.Query, row.Cross, row.CountTime, row.Sample, row.SampleTime, row.Arith)
+				from := "cold"
+				if row.Cached {
+					from = "cache hit"
+				}
+				fmt.Printf("  %s cross=%v: count in %v (%s), %d samples in %v (%s arithmetic)\n",
+					row.Query, row.Cross, row.CountTime, from, row.Sample, row.SampleTime, row.Arith)
 			}
 		}
 		fmt.Println()
@@ -80,7 +85,7 @@ func run(sf float64, seed int64, samples int, sseed int64, table1, figure4, prun
 	if figure4 {
 		fmt.Println("\n=== Figure 4: cost distributions (lower 50% of sampled costs) ===")
 		for _, q := range names {
-			plot, err := experiments.Figure4(db, strings.TrimSpace(q), cross, buckets, cfg)
+			plot, err := experiments.Figure4(db, strings.TrimSpace(q), cross, buckets, &cfg)
 			if err != nil {
 				return err
 			}

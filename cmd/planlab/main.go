@@ -67,8 +67,10 @@ func run(sf float64, seed int64, query, sqlText string, cross, count, dump, expl
 	if err != nil {
 		return err
 	}
-	e := engine.New(db, engine.WithCartesian(cross))
-	p, err := e.Prepare(sqlText)
+	// One engine, one session — the same staged pipeline (parse →
+	// fingerprint → cache → optimize → count) the plan-space server runs.
+	sess := engine.New(db).Session(engine.WithCartesian(cross))
+	p, err := sess.Prepare(sqlText)
 	if err != nil {
 		return err
 	}
@@ -76,6 +78,7 @@ func run(sf float64, seed int64, query, sqlText string, cross, count, dump, expl
 	st := p.Opt.Memo.Stats()
 	fmt.Printf("space: %s plans | %d groups, %d logical + %d physical operators (%d enforcers) | arithmetic: %s\n",
 		p.Count(), st.Groups, st.LogicalOps, st.PhysicalOps, st.EnforcerOps, p.Space.Arithmetic())
+	fmt.Printf("fingerprint: %s\n", p.Fingerprint())
 
 	if count {
 		fmt.Printf("N = %s\n", p.Count())

@@ -1,0 +1,55 @@
+// Command planserved is the plan-space service: a long-running HTTP
+// server over a generated TPC-H database that counts, unranks, samples,
+// and explains execution plans for concurrent clients (see
+// internal/serve for the endpoint contract). Counted spaces are cached
+// by query fingerprint, so the first request for a query pays for
+// optimization and counting and every later one is served from the
+// cache.
+//
+// Examples:
+//
+//	planserved -addr :8080 -sf 0.001
+//	curl -s localhost:8080/count   -d '{"query":"Q5"}'
+//	curl -s localhost:8080/sample  -d '{"query":"Q9","k":4,"seed":1}'
+//	curl -s localhost:8080/unrank  -d '{"query":"Q5","ranks":["0","123456"]}'
+//	curl -s localhost:8080/explain -d '{"sql":"SELECT r_name FROM region ORDER BY r_name"}'
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/engine"
+	"repro/internal/serve"
+	"repro/internal/tpch"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		sf       = flag.Float64("sf", 0.001, "TPC-H scale factor")
+		seed     = flag.Int64("seed", 42, "data generator seed")
+		cacheCap = flag.Int("cache", engine.DefaultCacheCapacity, "max counted spaces kept in the fingerprint cache")
+	)
+	flag.Parse()
+	if err := run(*addr, *sf, *seed, *cacheCap); err != nil {
+		fmt.Fprintln(os.Stderr, "planserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, sf float64, seed int64, cacheCap int) error {
+	log.Printf("generating TPC-H sf=%g seed=%d ...", sf, seed)
+	db, err := tpch.NewDB(sf, seed)
+	if err != nil {
+		return err
+	}
+	e := engine.New(db, engine.WithCache(engine.NewSpaceCache(cacheCap)))
+	srv := serve.New(e, serve.WithQueryResolver(tpch.Query))
+	log.Printf("serving plan spaces on %s (cache capacity %d, catalog version %d)",
+		addr, cacheCap, db.Catalog().Version())
+	return srv.ListenAndServe(addr)
+}

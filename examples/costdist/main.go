@@ -27,7 +27,7 @@ func run() error {
 	cfg := experiments.Config{SampleSize: 3000, Seed: 1}
 
 	sqlText, _ := tpch.Query("Q5")
-	costs, p, err := experiments.ScaledCosts(db, sqlText, false, cfg)
+	costs, p, err := experiments.ScaledCosts(db, sqlText, false, &cfg)
 	if err != nil {
 		return err
 	}
@@ -39,7 +39,7 @@ func run() error {
 	fmt.Printf("within 2x of optimum: %.2f%%   within 10x: %.2f%%\n\n",
 		100*sum.WithinTwo, 100*sum.WithinTen)
 
-	plot, err := experiments.Figure4(db, "Q5", false, 30, cfg)
+	plot, err := experiments.Figure4(db, "Q5", false, 30, &cfg)
 	if err != nil {
 		return err
 	}
@@ -47,7 +47,8 @@ func run() error {
 
 	// The same query with Cartesian products admitted: the space grows by
 	// orders of magnitude and the tail stretches much further.
-	crossRow, err := experiments.Table1(db, "Q5", true, experiments.Config{SampleSize: 1000, Seed: 1})
+	crossCfg := experiments.Config{SampleSize: 1000, Seed: 1}
+	crossRow, err := experiments.Table1(db, "Q5", true, &crossCfg)
 	if err != nil {
 		return err
 	}

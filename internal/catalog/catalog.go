@@ -7,6 +7,7 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/data"
 )
@@ -119,17 +120,39 @@ func (t *Table) Pages(pageBytes int) float64 {
 	return pages
 }
 
+// nextCatalogID hands every Catalog a process-unique identity so caches
+// keyed by query fingerprint can distinguish spaces built against
+// different catalogs (two databases may share SQL text and versions).
+var nextCatalogID atomic.Uint64
+
 // Catalog is a named collection of tables. Iteration order is the order
 // of registration so that everything downstream is deterministic.
 type Catalog struct {
 	byName map[string]*Table
 	order  []string
+
+	id      uint64
+	version atomic.Uint64
 }
 
 // New returns an empty catalog.
 func New() *Catalog {
-	return &Catalog{byName: make(map[string]*Table)}
+	return &Catalog{byName: make(map[string]*Table), id: nextCatalogID.Add(1)}
 }
+
+// ID returns the catalog's process-unique identity.
+func (c *Catalog) ID() uint64 { return c.id }
+
+// Version returns the catalog's metadata/statistics version. It starts
+// at zero and only moves forward: Add bumps it for every schema change,
+// and statistics refreshes call BumpVersion. Plan-space caches embed it
+// in their fingerprints, so a bump invalidates every cached space built
+// against the older catalog state.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
+
+// BumpVersion advances the version, signaling that table metadata or
+// statistics changed out from under previously optimized plans.
+func (c *Catalog) BumpVersion() uint64 { return c.version.Add(1) }
 
 // Add registers a table. It returns an error on duplicate names or
 // malformed index definitions rather than panicking, so schema bugs in
@@ -160,6 +183,7 @@ func (c *Catalog) Add(t *Table) error {
 	}
 	c.byName[t.Name] = t
 	c.order = append(c.order, t.Name)
+	c.version.Add(1)
 	return nil
 }
 

@@ -123,3 +123,31 @@ func TestNamesSortedAndOrderPreserved(t *testing.T) {
 		t.Errorf("Tables should preserve registration order, got %s first", tables[0].Name)
 	}
 }
+
+func TestVersionAndIdentity(t *testing.T) {
+	a, b := New(), New()
+	if a.ID() == b.ID() {
+		t.Fatalf("catalogs share ID %d", a.ID())
+	}
+	if a.Version() != 0 {
+		t.Fatalf("fresh catalog version = %d, want 0", a.Version())
+	}
+	a.MustAdd(&Table{Name: "t", Columns: []Column{{Name: "x", Kind: data.KindInt}}})
+	if a.Version() != 1 {
+		t.Errorf("version after Add = %d, want 1", a.Version())
+	}
+	if v := a.BumpVersion(); v != 2 || a.Version() != 2 {
+		t.Errorf("BumpVersion = %d, Version = %d, want 2, 2", v, a.Version())
+	}
+	if b.Version() != 0 {
+		t.Errorf("bumping one catalog moved another: %d", b.Version())
+	}
+	// Failed adds must not move the version.
+	before := a.Version()
+	if err := a.Add(&Table{Name: "t"}); err == nil {
+		t.Fatal("duplicate Add succeeded")
+	}
+	if a.Version() != before {
+		t.Errorf("failed Add bumped version %d -> %d", before, a.Version())
+	}
+}

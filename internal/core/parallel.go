@@ -36,7 +36,7 @@ func (s *Space) SampleParallel(seed int64, k, workers int) ([]*plan.Node, error)
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			smp, err := s.NewSampler(deriveSeed(seed, w))
+			smp, err := s.NewSampler(DeriveSeed(seed, w))
 			if err != nil {
 				errs[w] = err
 				return
@@ -81,9 +81,12 @@ func (s *Space) SampleParallel(seed int64, k, workers int) ([]*plan.Node, error)
 	return out, nil
 }
 
-// deriveSeed mixes a worker index into the base seed (splitmix64 step) so
-// workers draw independent streams.
-func deriveSeed(seed int64, worker int) int64 {
+// DeriveSeed mixes a worker index into the base seed (splitmix64 step) so
+// workers draw independent streams. It is exported as the canonical
+// derivation for any caller that shards sampling across workers (e.g.
+// the experiments pipeline): using the same derivation keeps parallel
+// runs deterministic for a given (seed, k, workers) triple.
+func DeriveSeed(seed int64, worker int) int64 {
 	z := uint64(seed) + uint64(worker+1)*0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb

@@ -32,9 +32,14 @@ func (m *Model) Combine(e *memo.Expr, childCosts []float64) (float64, error) {
 		return 0, fmt.Errorf("cost: operator %s has %d children, got %d child costs",
 			e.Name(), len(e.Children), len(childCosts))
 	}
-	local, err := m.Local(e)
-	if err != nil {
-		return 0, err
+	local := e.LocalCost
+	if !e.LocalCostValid {
+		// Annotated memos (every optimized space) take the memoized
+		// value; bare expressions (unit tests, ad-hoc costing) derive it.
+		var err error
+		if local, err = m.Local(e); err != nil {
+			return 0, err
+		}
 	}
 	if e.Op == memo.NestedLoopJoin {
 		outer := e.Children[0].Card

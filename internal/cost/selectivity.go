@@ -4,6 +4,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/catalog"
 	"repro/internal/data"
+	"sync"
 )
 
 // Selectivity constants for predicates the statistics cannot resolve.
@@ -19,10 +20,14 @@ const (
 // Estimator derives cardinalities for every group of a query's memo from
 // base-table statistics. Estimates are properties of a relation subset —
 // independent of join order — so every operator of a group sees the same
-// output cardinality, as the MEMO requires.
+// output cardinality, as the MEMO requires. The SetCard memo table is
+// mutex-guarded: cached plan spaces are costed from many goroutines at
+// once by the plan-space server.
 type Estimator struct {
-	Q      *algebra.Query
-	P      Params
+	Q *algebra.Query
+	P Params
+
+	mu     sync.Mutex
 	byCard map[algebra.RelSet]float64
 }
 
@@ -49,7 +54,10 @@ func (e *Estimator) BaseCard(i int) float64 {
 // the product of filtered base cardinalities and the selectivities of all
 // join predicates applicable within s. Memoized per subset.
 func (e *Estimator) SetCard(s algebra.RelSet) float64 {
-	if c, ok := e.byCard[s]; ok {
+	e.mu.Lock()
+	c, ok := e.byCard[s]
+	e.mu.Unlock()
+	if ok {
 		return c
 	}
 	card := 1.0
@@ -64,7 +72,9 @@ func (e *Estimator) SetCard(s algebra.RelSet) float64 {
 	if card < 1 {
 		card = 1
 	}
+	e.mu.Lock()
 	e.byCard[s] = card
+	e.mu.Unlock()
 	return card
 }
 

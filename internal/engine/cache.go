@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// DefaultCacheCapacity is the space cap of the cache an Engine creates
+// when none is injected. Counted spaces reference the whole MEMO, so
+// the unit of accounting is "spaces", not bytes.
+const DefaultCacheCapacity = 64
+
+// CacheStats is a point-in-time snapshot of a SpaceCache's counters.
+type CacheStats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`     // LRU pressure
+	Invalidations uint64 `json:"invalidations"` // catalog version bumps
+	Entries       int    `json:"entries"`
+	Capacity      int    `json:"capacity"`
+}
+
+// cacheEntry is one fingerprint's slot. It is inserted before the build
+// runs so that concurrent Prepare calls for the same fingerprint find it
+// and wait on ready instead of counting the space a second time
+// (singleflight semantics). After ready closes, space/err are immutable.
+type cacheEntry struct {
+	fp      Fingerprint
+	version uint64 // catalog version the space was built against
+	elem    *list.Element
+
+	ready chan struct{}
+	space *PlanSpace
+	err   error
+}
+
+// SpaceCache is a concurrency-safe LRU of counted plan spaces keyed by
+// query fingerprint. It collapses concurrent misses for one fingerprint
+// into a single build, evicts least-recently-used spaces beyond the
+// capacity, and drops every stale space the moment it observes a newer
+// catalog version (statistics refresh, schema change). A single cache
+// may be shared by any number of Engines and Sessions.
+type SpaceCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[Fingerprint]*cacheEntry
+	lru     *list.List // front = most recently used; values are *cacheEntry
+	version uint64     // newest catalog version observed
+
+	hits, misses, evictions, invalidations uint64
+}
+
+// NewSpaceCache returns a cache holding at most capacity counted spaces;
+// capacities below one are clamped to one.
+func NewSpaceCache(capacity int) *SpaceCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpaceCache{
+		cap:     capacity,
+		entries: make(map[Fingerprint]*cacheEntry),
+		lru:     list.New(),
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *SpaceCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Entries:       len(c.entries),
+		Capacity:      c.cap,
+	}
+}
+
+// Invalidate removes every cached space built against a catalog version
+// older than version. The fingerprint already embeds the version, so
+// stale entries could never be returned — invalidation exists to release
+// their memory promptly instead of waiting for LRU pressure.
+func (c *SpaceCache) Invalidate(version uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.invalidateLocked(version)
+}
+
+func (c *SpaceCache) invalidateLocked(version uint64) {
+	if version <= c.version {
+		return
+	}
+	c.version = version
+	for fp, e := range c.entries {
+		if e.version >= version {
+			continue
+		}
+		select {
+		case <-e.ready:
+		default:
+			continue // still building; its builder removes it on error, LRU handles the rest
+		}
+		delete(c.entries, fp)
+		c.lru.Remove(e.elem)
+		c.invalidations++
+	}
+}
+
+// GetOrBuild returns the space for fp, building it with build on a miss.
+// version is the current catalog version; observing a newer version than
+// any seen before first drops all stale entries. Exactly one caller runs
+// build per miss — every other concurrent caller for the same
+// fingerprint blocks until that build finishes and then shares the
+// result (counted spaces are immutable and safe to share). A failed
+// build is not cached: the error is returned to everyone waiting and
+// the next call retries.
+func (c *SpaceCache) GetOrBuild(fp Fingerprint, version uint64, build func() (*PlanSpace, error)) (*PlanSpace, bool, error) {
+	c.mu.Lock()
+	c.invalidateLocked(version)
+	if e, ok := c.entries[fp]; ok {
+		c.hits++
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		<-e.ready
+		return e.space, true, e.err
+	}
+	e := &cacheEntry{fp: fp, version: version, ready: make(chan struct{})}
+	e.elem = c.lru.PushFront(e)
+	c.entries[fp] = e
+	c.misses++
+	c.evictLocked()
+	c.mu.Unlock()
+
+	space, err := c.runBuild(e, build)
+	return space, false, err
+}
+
+// runBuild executes build and completes the entry — on success, on
+// error, and on panic alike. The completion must not be skipped: an
+// entry whose ready channel never closes would wedge every current and
+// future waiter on its fingerprint (net/http recovers handler panics,
+// so the server would otherwise keep running with a poisoned slot).
+func (c *SpaceCache) runBuild(e *cacheEntry, build func() (*PlanSpace, error)) (space *PlanSpace, err error) {
+	finished := false
+	defer func() {
+		if !finished {
+			// build panicked; fail the entry for everyone waiting and
+			// let the panic propagate to this caller.
+			err = fmt.Errorf("engine: space build panicked for fingerprint %s", e.fp)
+		}
+		c.mu.Lock()
+		e.space, e.err = space, err
+		close(e.ready)
+		if err != nil {
+			// Failed builds are not cached — but only remove the entry
+			// if it still owns the slot (it may already have been
+			// LRU-evicted or invalidated).
+			if cur, ok := c.entries[e.fp]; ok && cur == e {
+				delete(c.entries, e.fp)
+				c.lru.Remove(e.elem)
+			}
+		}
+		c.mu.Unlock()
+	}()
+	space, err = build()
+	finished = true
+	return space, err
+}
+
+// evictLocked trims the LRU beyond capacity, skipping entries whose
+// build is still in flight (their waiters hold references; evicting a
+// completed space only drops the cache's reference — concurrent readers
+// of an evicted space keep working on their copy of the pointer).
+func (c *SpaceCache) evictLocked() {
+	for elem := c.lru.Back(); elem != nil && len(c.entries) > c.cap; {
+		prev := elem.Prev()
+		e := elem.Value.(*cacheEntry)
+		select {
+		case <-e.ready:
+			delete(c.entries, e.fp)
+			c.lru.Remove(elem)
+			c.evictions++
+		default:
+		}
+		elem = prev
+	}
+}

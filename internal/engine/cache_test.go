@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fp(b byte) Fingerprint {
+	var f Fingerprint
+	f[0] = b
+	return f
+}
+
+// TestCacheSingleflight: concurrent GetOrBuild calls for one fingerprint
+// run the builder exactly once and share the resulting space.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewSpaceCache(4)
+	var builds atomic.Int64
+	want := &PlanSpace{}
+	const goroutines = 32
+
+	var wg sync.WaitGroup
+	spaces := make([]*PlanSpace, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ps, _, err := c.GetOrBuild(fp(1), 1, func() (*PlanSpace, error) {
+				builds.Add(1)
+				time.Sleep(20 * time.Millisecond) // widen the race window
+				return want, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			spaces[i] = ps
+		}(i)
+	}
+	wg.Wait()
+
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("builder ran %d times for one fingerprint, want 1", n)
+	}
+	for i, ps := range spaces {
+		if ps != want {
+			t.Fatalf("goroutine %d got a different space", i)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != goroutines-1 {
+		t.Errorf("stats = %+v, want 1 miss and %d hits", st, goroutines-1)
+	}
+}
+
+// TestCacheLRUEviction: beyond the capacity the least-recently-used
+// space is dropped; touching an entry protects it.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewSpaceCache(2)
+	get := func(b byte) (*PlanSpace, bool) {
+		t.Helper()
+		ps, cached, err := c.GetOrBuild(fp(b), 1, func() (*PlanSpace, error) {
+			return &PlanSpace{}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ps, cached
+	}
+
+	get(1)
+	get(2)
+	get(3) // evicts 1
+	if st := c.Stats(); st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("after third insert: %+v, want 2 entries, 1 eviction", st)
+	}
+	if _, cached := get(1); cached {
+		t.Error("fingerprint 1 should have been evicted")
+	}
+	// Reinserting 1 evicted 2 (the LRU of [3, 2]); 3 must survive.
+	if _, cached := get(3); !cached {
+		t.Error("fingerprint 3 should still be resident")
+	}
+	// Touch 1, insert 4: the untouched 3 goes, 1 stays.
+	get(1)
+	get(4)
+	if _, cached := get(1); !cached {
+		t.Error("recently used fingerprint 1 was evicted")
+	}
+}
+
+// TestCacheErrorNotCached: a failed build is reported to the caller and
+// retried on the next request rather than cached.
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewSpaceCache(2)
+	boom := errors.New("bind failed")
+	var builds int
+	_, _, err := c.GetOrBuild(fp(9), 1, func() (*PlanSpace, error) {
+		builds++
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("failed build left %d entries", st.Entries)
+	}
+	ps, _, err := c.GetOrBuild(fp(9), 1, func() (*PlanSpace, error) {
+		builds++
+		return &PlanSpace{}, nil
+	})
+	if err != nil || ps == nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if builds != 2 {
+		t.Errorf("builds = %d, want 2 (error must not be cached)", builds)
+	}
+}
+
+// TestCacheInvalidation: observing a newer catalog version drops every
+// space built against an older one.
+func TestCacheInvalidation(t *testing.T) {
+	c := NewSpaceCache(8)
+	build := func() (*PlanSpace, error) { return &PlanSpace{}, nil }
+	if _, _, err := c.GetOrBuild(fp(1), 1, build); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.GetOrBuild(fp(2), 1, build); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.GetOrBuild(fp(3), 2, build); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Invalidations != 2 {
+		t.Errorf("invalidations = %d, want 2", st.Invalidations)
+	}
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want only the version-2 space", st.Entries)
+	}
+	// Explicit Invalidate behaves the same.
+	c.Invalidate(3)
+	if st := c.Stats(); st.Entries != 0 || st.Invalidations != 3 {
+		t.Errorf("after Invalidate(3): %+v", st)
+	}
+	// Stale versions are a no-op.
+	c.Invalidate(1)
+	if st := c.Stats(); st.Invalidations != 3 {
+		t.Errorf("stale Invalidate bumped counters: %+v", st)
+	}
+}
+
+// TestCachePanicDoesNotWedge: a panicking build must fail the entry —
+// closing ready for any waiters and freeing the slot — instead of
+// leaving every future caller of the fingerprint blocked forever.
+func TestCachePanicDoesNotWedge(t *testing.T) {
+	c := NewSpaceCache(2)
+	release := make(chan struct{})
+	waiterErr := make(chan error, 1)
+	go func() {
+		// Arrive once the panicking build is in flight. Almost always
+		// this call blocks on the in-flight entry and must receive its
+		// error; if scheduling delays it past the cleanup it builds
+		// fresh and succeeds — either way it must return promptly
+		// rather than wedge.
+		<-release
+		_, _, err := c.GetOrBuild(fp(5), 1, func() (*PlanSpace, error) {
+			return &PlanSpace{}, nil
+		})
+		waiterErr <- err
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the building caller")
+			}
+		}()
+		c.GetOrBuild(fp(5), 1, func() (*PlanSpace, error) {
+			close(release) // the waiter may now pile on
+			time.Sleep(50 * time.Millisecond)
+			panic("bind exploded")
+		})
+	}()
+	select {
+	case <-waiterErr: // returned — with the build error or a fresh build
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter wedged on a panicked build")
+	}
+	// The slot is free: the next call rebuilds successfully.
+	ps, _, err := c.GetOrBuild(fp(5), 1, func() (*PlanSpace, error) {
+		return &PlanSpace{}, nil
+	})
+	if err != nil || ps == nil {
+		t.Fatalf("rebuild after panic failed: %v", err)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Errorf("entries = %d after recovery, want 1", st.Entries)
+	}
+}

@@ -3,6 +3,22 @@
 // the optimizer's choice, a plan selected by number through the paper's
 // OPTION (USEPLAN n) extension (Section 4), or plans drawn by uniform
 // sampling (Section 5).
+//
+// Preparation is a staged, cache-aware pipeline rather than a one-shot
+// call:
+//
+//	parse → fingerprint → SpaceCache lookup → [bind → optimize → count]
+//
+// The bracketed stages — the dominant cost for repeated queries — run
+// only on a cache miss. The cache key is a canonical fingerprint of
+// (normalized SQL, rule config, cost parameters, catalog id + version),
+// so every input that could change the counted space changes the key,
+// and a catalog/statistics bump invalidates all older spaces. Sessions
+// are the unit of configuration: an Engine owns the database and the
+// shared SpaceCache, a Session owns one rule/cost configuration, and
+// Session.Prepare is the single preparation path in the codebase —
+// Engine.Prepare, the experiments, the CLIs, and the plan-space server
+// all go through it.
 package engine
 
 import (
@@ -20,70 +36,136 @@ import (
 	"repro/internal/storage"
 )
 
-// Option configures an Engine.
-type Option func(*Engine)
+// settings collects everything Options can configure.
+type settings struct {
+	opts  opt.Options
+	cache *SpaceCache
+}
+
+// Option configures an Engine (and, for the optimizer-facing options,
+// a Session derived from one).
+type Option func(*settings)
 
 // WithCartesian toggles Cartesian products in the join-order space — the
 // switch between the two halves of the paper's Table 1.
 func WithCartesian(allow bool) Option {
-	return func(e *Engine) { e.opts.Rules.AllowCartesian = allow }
+	return func(s *settings) { s.opts.Rules.AllowCartesian = allow }
 }
 
 // WithRules replaces the whole rule configuration.
 func WithRules(cfg rules.Config) Option {
-	return func(e *Engine) { e.opts.Rules = cfg }
+	return func(s *settings) { s.opts.Rules = cfg }
 }
 
 // WithCostParams replaces the cost model constants.
 func WithCostParams(p cost.Params) Option {
-	return func(e *Engine) { e.opts.Params = p }
+	return func(s *settings) { s.opts.Params = p }
 }
 
-// Engine plans and executes queries over one database.
+// WithCache makes the engine serve prepared spaces out of c instead of a
+// private cache — the way several engines over one database (or one
+// database under several rule configs) share counting work. Ignored by
+// Engine.Session, where the engine's cache is already fixed.
+func WithCache(c *SpaceCache) Option {
+	return func(s *settings) { s.cache = c }
+}
+
+// Engine plans and executes queries over one database. It owns the
+// SpaceCache shared by all sessions derived from it.
 type Engine struct {
-	db   *storage.DB
-	opts opt.Options
+	db    *storage.DB
+	opts  opt.Options
+	cache *SpaceCache
 }
 
-// New returns an engine over db with the default full rule set.
+// New returns an engine over db with the default full rule set and a
+// private space cache (inject one with WithCache to share).
 func New(db *storage.DB, options ...Option) *Engine {
-	e := &Engine{db: db, opts: opt.DefaultOptions()}
+	s := settings{opts: opt.DefaultOptions()}
 	for _, o := range options {
-		o(e)
+		o(&s)
 	}
-	return e
+	if s.cache == nil {
+		s.cache = NewSpaceCache(DefaultCacheCapacity)
+	}
+	return &Engine{db: db, opts: s.opts, cache: s.cache}
 }
 
 // DB returns the engine's database.
 func (e *Engine) DB() *storage.DB { return e.db }
 
-// Prepared is a parsed, optimized, and counted query: the frozen search
-// space plus the optimal plan, ready for counting, unranking, sampling,
-// and execution.
-type Prepared struct {
-	SQL   string
-	Stmt  *sql.SelectStmt
-	Query *algebra.Query
-	Opt   *opt.Result
-	Space *core.Space
+// Cache returns the engine's space cache (shared by all its sessions).
+func (e *Engine) Cache() *SpaceCache { return e.cache }
 
-	// UsePlan is the plan number from OPTION (USEPLAN n), nil if absent.
-	UsePlan *big.Int
-
-	engine *Engine
+// Session derives a session from the engine: the engine's options plus
+// the given overrides, sharing the engine's database and space cache.
+// Sessions are cheap value holders — create one per client, request, or
+// experiment configuration.
+func (e *Engine) Session(options ...Option) *Session {
+	s := settings{opts: e.opts}
+	for _, o := range options {
+		o(&s)
+	}
+	return &Session{engine: e, opts: s.opts}
 }
 
-// Prepare parses, binds, optimizes, and counts a query.
+// Prepare parses, fingerprints, and — on a cache miss — binds,
+// optimizes, and counts a query under the engine's default options.
+// It is shorthand for e.Session().Prepare(sqlText).
 func (e *Engine) Prepare(sqlText string) (*Prepared, error) {
-	stmt, err := sql.Parse(sqlText)
+	return e.Session().Prepare(sqlText)
+}
+
+// Run parses, optimizes, and executes a statement end to end, honoring
+// OPTION (USEPLAN n) exactly as Section 4 describes: the optimizer builds
+// the MEMO, the space is counted, and the requested plan is extracted and
+// executed instead of the optimizer's choice.
+func (e *Engine) Run(sqlText string) (*exec.Result, error) {
+	p, err := e.Prepare(sqlText)
 	if err != nil {
 		return nil, err
 	}
-	q, err := algebra.Build(stmt, e.db.Catalog())
+	chosen, err := p.ChosenPlan()
 	if err != nil {
 		return nil, err
 	}
-	res, err := opt.Optimize(q, e.opts)
+	return p.Execute(chosen)
+}
+
+// Session is one rule/cost configuration over an engine's database and
+// cache. Its Prepare method is the codebase's single preparation path.
+type Session struct {
+	engine *Engine
+	opts   opt.Options
+}
+
+// Engine returns the engine the session was derived from.
+func (s *Session) Engine() *Engine { return s.engine }
+
+// Options returns the session's optimizer options.
+func (s *Session) Options() opt.Options { return s.opts }
+
+// PlanSpace is the shared, immutable product of the expensive pipeline
+// stages: the bound query, the optimization result, and the counted
+// space. One PlanSpace is safe for any number of concurrent readers
+// (counting, unranking, ranking, costing, explaining); it is what the
+// SpaceCache stores and what every Prepared statement for the same
+// fingerprint shares.
+type PlanSpace struct {
+	Fingerprint Fingerprint
+	Canonical   string // normalized SQL the fingerprint was computed from
+	Query       *algebra.Query
+	Opt         *opt.Result
+	Space       *core.Space
+}
+
+// build runs the cache-miss stages: bind, optimize, count.
+func (s *Session) build(canonical string, stmt *sql.SelectStmt, fp Fingerprint) (*PlanSpace, error) {
+	q, err := algebra.Build(stmt, s.engine.db.Catalog())
+	if err != nil {
+		return nil, err
+	}
+	res, err := opt.Optimize(q, s.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -91,19 +173,81 @@ func (e *Engine) Prepare(sqlText string) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Prepared{SQL: sqlText, Stmt: stmt, Query: q, Opt: res, Space: space, engine: e}
+	return &PlanSpace{Fingerprint: fp, Canonical: canonical, Query: q, Opt: res, Space: space}, nil
+}
+
+// Prepare runs the staged pipeline. Parsing and fingerprinting always
+// run; binding, optimization, and counting run only when the fingerprint
+// misses the cache. Concurrent calls for one fingerprint share a single
+// build, and all Prepared statements for it share one PlanSpace.
+func (s *Session) Prepare(sqlText string) (*Prepared, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	canonical := canonicalSQL(stmt)
+	cat := s.engine.db.Catalog()
+	// One version read serves both the fingerprint and the cache entry:
+	// reading twice could race a concurrent bump and record the entry
+	// under a version newer than its fingerprint encodes, pinning a
+	// dead space in the LRU (no future caller recomputes that key).
+	version := cat.Version()
+	fp := fingerprintOf(canonical, s.opts, cat.ID(), version)
+	ps, cached, err := s.engine.cache.GetOrBuild(fp, version, func() (*PlanSpace, error) {
+		return s.build(canonical, stmt, fp)
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{
+		SQL:    sqlText,
+		Stmt:   stmt,
+		Query:  ps.Query,
+		Opt:    ps.Opt,
+		Space:  ps.Space,
+		Shared: ps,
+		Cached: cached,
+		engine: s.engine,
+	}
 	if stmt.Option != nil {
 		n, ok := new(big.Int).SetString(stmt.Option.UsePlan, 10)
 		if !ok {
 			return nil, fmt.Errorf("engine: invalid USEPLAN number %q", stmt.Option.UsePlan)
 		}
-		if n.Sign() < 0 || n.Cmp(space.Count()) >= 0 {
-			return nil, fmt.Errorf("engine: USEPLAN %s out of range: query has %s plans", n, space.Count())
+		if n.Sign() < 0 || n.Cmp(ps.Space.Count()) >= 0 {
+			return nil, fmt.Errorf("engine: USEPLAN %s out of range: query has %s plans", n, ps.Space.Count())
 		}
 		p.UsePlan = n
 	}
 	return p, nil
 }
+
+// Prepared is a parsed, optimized, and counted query: the frozen search
+// space plus the optimal plan, ready for counting, unranking, sampling,
+// and execution. Query, Opt, and Space alias the shared PlanSpace —
+// they are immutable and may be shared with every other Prepared of the
+// same fingerprint.
+type Prepared struct {
+	SQL   string
+	Stmt  *sql.SelectStmt
+	Query *algebra.Query
+	Opt   *opt.Result
+	Space *core.Space
+
+	// Shared is the cached PlanSpace this statement runs against;
+	// Cached reports whether Prepare found it in the cache (false when
+	// this call built it).
+	Shared *PlanSpace
+	Cached bool
+
+	// UsePlan is the plan number from OPTION (USEPLAN n), nil if absent.
+	UsePlan *big.Int
+
+	engine *Engine
+}
+
+// Fingerprint returns the canonical identity of the statement's space.
+func (p *Prepared) Fingerprint() Fingerprint { return p.Shared.Fingerprint }
 
 // Count returns the number of execution plans in the space.
 func (p *Prepared) Count() *big.Int { return p.Space.Count() }
@@ -156,6 +300,18 @@ func (p *Prepared) ScaledCost(n *plan.Node) (float64, error) {
 	return c / p.Opt.BestCost, nil
 }
 
+// ScaledCostWith is ScaledCost evaluating on a reused cost stack — with
+// a warmed CostBuf (and an arena-built plan) the call performs no heap
+// allocation, which is what keeps batched sampling loops allocation-free
+// per plan.
+func (p *Prepared) ScaledCostWith(n *plan.Node, buf *plan.CostBuf) (float64, error) {
+	c, err := n.CostWith(p.Opt.Model, buf)
+	if err != nil {
+		return 0, err
+	}
+	return c / p.Opt.BestCost, nil
+}
+
 // Execute runs a specific plan from this query's space.
 func (p *Prepared) Execute(n *plan.Node) (*exec.Result, error) {
 	return exec.Run(n, p.engine.db, p.Query)
@@ -168,22 +324,6 @@ func (p *Prepared) ChosenPlan() (*plan.Node, error) {
 		return p.Space.Unrank(p.UsePlan)
 	}
 	return p.Opt.Best, nil
-}
-
-// Run parses, optimizes, and executes a statement end to end, honoring
-// OPTION (USEPLAN n) exactly as Section 4 describes: the optimizer builds
-// the MEMO, the space is counted, and the requested plan is extracted and
-// executed instead of the optimizer's choice.
-func (e *Engine) Run(sqlText string) (*exec.Result, error) {
-	p, err := e.Prepare(sqlText)
-	if err != nil {
-		return nil, err
-	}
-	chosen, err := p.ChosenPlan()
-	if err != nil {
-		return nil, err
-	}
-	return p.Execute(chosen)
 }
 
 // OutputOrdering maps the query's ORDER BY onto result column positions.

@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/opt"
+	"repro/internal/sql"
+)
+
+// Fingerprint is the canonical identity of a plan space: a digest of the
+// normalized query text together with everything else that determines
+// the counted space — the rule configuration (which operators exist),
+// the cost-model parameters (which plan wins and what sampled plans
+// cost), and the catalog identity + version (schema and statistics).
+// Two Prepare calls with equal fingerprints are guaranteed to produce
+// the same space, which is what makes the SpaceCache sound.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as hex — the form served by the HTTP
+// endpoints and accepted in logs and bug reports.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// canonicalSQL normalizes a parsed statement back to one canonical text:
+// whitespace, keyword case, and comment differences disappear because
+// the AST renders itself, and the OPTION (USEPLAN n) suffix is stripped
+// because the requested plan number selects within the space without
+// changing it — every USEPLAN variant of a query shares one cached
+// space.
+func canonicalSQL(stmt *sql.SelectStmt) string {
+	if stmt.Option == nil {
+		return stmt.String()
+	}
+	bare := *stmt
+	bare.Option = nil
+	return bare.String()
+}
+
+// fingerprintOf digests the canonical query text with the option set and
+// catalog state. The encoding is versioned ("fp1") so a change to the
+// scheme cannot collide with digests from an older layout, and every
+// variable-length field is length-prefixed to keep the encoding
+// injective. Rule and cost configurations are flat scalar structs, so
+// their %#v rendering is deterministic and automatically picks up any
+// field added later.
+func fingerprintOf(canonical string, opts opt.Options, catalogID, catalogVersion uint64) Fingerprint {
+	h := sha256.New()
+	var num [8]byte
+	writeStr := func(s string) {
+		binary.LittleEndian.PutUint64(num[:], uint64(len(s)))
+		h.Write(num[:])
+		h.Write([]byte(s))
+	}
+	writeStr("fp1")
+	writeStr(canonical)
+	writeStr(fmt.Sprintf("%#v", opts.Rules))
+	writeStr(fmt.Sprintf("%#v", opts.Params))
+	binary.LittleEndian.PutUint64(num[:], catalogID)
+	h.Write(num[:])
+	binary.LittleEndian.PutUint64(num[:], catalogVersion)
+	h.Write(num[:])
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}

@@ -1,0 +1,189 @@
+package engine_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+// freshTinyTPCH builds a private database for tests that mutate catalog
+// state (the shared tinyTPCH fixture must stay untouched).
+func freshTinyTPCH(t *testing.T) *storage.DB {
+	t.Helper()
+	db, err := tpch.NewDB(0.0004, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestPreparedSharesCachedSpace: preparing the same query twice returns
+// two Prepared statements over one shared PlanSpace, and textual noise
+// (whitespace, keyword case) or an OPTION (USEPLAN n) suffix does not
+// split the cache entry.
+func TestPreparedSharesCachedSpace(t *testing.T) {
+	e := engine.New(tinyTPCH(t))
+	p1, err := e.Prepare(smallJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Cached {
+		t.Error("first Prepare reported a cache hit")
+	}
+	p2, err := e.Prepare(smallJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.Cached {
+		t.Error("second Prepare missed the cache")
+	}
+	if p1.Space != p2.Space || p1.Shared != p2.Shared {
+		t.Error("repeated Prepare did not share the counted space")
+	}
+	if p1.Fingerprint() != p2.Fingerprint() {
+		t.Error("fingerprints differ for identical SQL")
+	}
+
+	// Same query, different whitespace and keyword case.
+	noisy := "select  n_name,   count(l_orderkey) AS items\n FROM customer, orders, lineitem, nation " +
+		"where c_custkey = o_custkey AND o_orderkey = l_orderkey AND c_nationkey = n_nationkey " +
+		"GROUP  BY n_name order by n_name"
+	p3, err := e.Prepare(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p3.Cached || p3.Space != p1.Space {
+		t.Error("whitespace/case variant built a second space")
+	}
+
+	// USEPLAN selects within the space without changing it.
+	p4, err := e.Prepare(smallJoin + " OPTION (USEPLAN 7)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p4.Cached || p4.Space != p1.Space {
+		t.Error("USEPLAN variant built a second space")
+	}
+	if p4.UsePlan == nil || p4.UsePlan.Int64() != 7 {
+		t.Errorf("UsePlan = %v, want 7", p4.UsePlan)
+	}
+}
+
+// TestConcurrentPrepareSingleCount: many goroutines preparing one query
+// against a cold cache trigger exactly one bind+optimize+count.
+func TestConcurrentPrepareSingleCount(t *testing.T) {
+	e := engine.New(tinyTPCH(t))
+	const goroutines = 16
+	prepared := make([]*engine.Prepared, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := e.Prepare(smallJoin)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			prepared[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if prepared[i] == nil || prepared[i].Space != prepared[0].Space {
+			t.Fatalf("goroutine %d does not share the space", i)
+		}
+	}
+	st := e.Cache().Stats()
+	if st.Misses != 1 {
+		t.Errorf("%d misses for one fingerprint, want 1 (duplicate counting)", st.Misses)
+	}
+	if st.Hits != goroutines-1 {
+		t.Errorf("hits = %d, want %d", st.Hits, goroutines-1)
+	}
+}
+
+// TestCatalogBumpInvalidatesSpaces: a catalog/statistics version bump
+// makes the next Prepare rebuild instead of serving the stale space.
+func TestCatalogBumpInvalidatesSpaces(t *testing.T) {
+	// Private database: bumping the shared test fixture's catalog would
+	// leak invalidations into other tests.
+	db := freshTinyTPCH(t)
+	e := engine.New(db)
+	p1, err := e.Prepare(smallJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Catalog().BumpVersion()
+	p2, err := e.Prepare(smallJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Cached {
+		t.Error("Prepare after catalog bump served the stale space")
+	}
+	if p1.Space == p2.Space {
+		t.Error("space not rebuilt after catalog bump")
+	}
+	if p1.Fingerprint() == p2.Fingerprint() {
+		t.Error("fingerprint ignores the catalog version")
+	}
+	if st := e.Cache().Stats(); st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+	// The counts agree — the space is equivalent, just recounted.
+	if p1.Count().Cmp(p2.Count()) != 0 {
+		t.Errorf("recounted space has %s plans, was %s", p2.Count(), p1.Count())
+	}
+}
+
+// TestSessionConfigSplitsFingerprint: sessions with different rule
+// configurations get distinct spaces from one shared cache.
+func TestSessionConfigSplitsFingerprint(t *testing.T) {
+	e := engine.New(tinyTPCH(t))
+	base, err := e.Session().Prepare(smallJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := e.Session(engine.WithCartesian(true)).Prepare(smallJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Fingerprint() == cross.Fingerprint() {
+		t.Error("Cartesian toggle did not change the fingerprint")
+	}
+	if base.Count().Cmp(cross.Count()) >= 0 {
+		t.Errorf("cross space (%s plans) not larger than base (%s)", cross.Count(), base.Count())
+	}
+	// Same configs hit their respective entries.
+	again, err := e.Session(engine.WithCartesian(true)).Prepare(smallJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Space != cross.Space {
+		t.Error("second Cartesian session missed the cache")
+	}
+}
+
+// TestSharedCacheAcrossEngines: two engines over one database can share
+// counting work through an injected cache.
+func TestSharedCacheAcrossEngines(t *testing.T) {
+	db := tinyTPCH(t)
+	shared := engine.NewSpaceCache(8)
+	e1 := engine.New(db, engine.WithCache(shared))
+	e2 := engine.New(db, engine.WithCache(shared))
+	p1, err := e1.Prepare(smallJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := e2.Prepare(smallJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.Cached || p1.Space != p2.Space {
+		t.Error("engines with a shared cache counted the space twice")
+	}
+}

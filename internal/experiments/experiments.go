@@ -8,7 +8,9 @@ package experiments
 import (
 	"fmt"
 	"math/big"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -36,28 +38,86 @@ type Table1Row struct {
 	WithinTwo float64 // fraction of sampled plans with cost <= 2x optimum
 	WithinTen float64 // fraction <= 10x optimum
 
+	// Cached reports that the space came out of the config's shared
+	// fingerprint cache; CountTime is then the cache-hit latency, not a
+	// cold parse+optimize+count.
+	Cached     bool
 	CountTime  time.Duration
 	SampleTime time.Duration
 }
 
-// Config parameterizes the experiments.
+// Config parameterizes the experiments. Pass one *Config through a
+// whole experiment run: it lazily builds one engine (and with it one
+// fingerprint-keyed space cache) per database, so repeated Table1 and
+// Figure4 calls over the same query reuse the counted space instead of
+// re-optimizing.
 type Config struct {
 	SampleSize int   // paper: 10,000
 	Seed       int64 // sampling seed (experiments are deterministic)
 
+	// Workers shards sampling and plan costing. 0 picks GOMAXPROCS
+	// (capped); 1 forces the sequential path. For a fixed (Seed,
+	// SampleSize, Workers) the drawn sample is deterministic — worker w
+	// draws an independent stream seeded core.DeriveSeed(Seed, w), the
+	// same derivation core.SampleParallel uses — but changing Workers
+	// changes which plans are drawn.
+	Workers int
+
 	// Rules overrides the rule configuration (nil: the full default
 	// set). The Cartesian flag of each experiment is applied on top.
 	Rules *rules.Config
+
+	// state is created on first use and shared by every copy of this
+	// config made afterwards.
+	state *configState
 }
 
-// engineFor builds an engine honoring the config's rule overrides.
-func (c Config) engineFor(db *storage.DB, cross bool) *engine.Engine {
+type configState struct {
+	mu      sync.Mutex
+	engines map[*storage.DB]*engine.Engine
+}
+
+var stateInit sync.Mutex
+
+func (c *Config) runtime() *configState {
+	stateInit.Lock()
+	defer stateInit.Unlock()
+	if c.state == nil {
+		c.state = &configState{engines: make(map[*storage.DB]*engine.Engine)}
+	}
+	return c.state
+}
+
+// sessionFor returns a session over the config's per-database engine:
+// one engine — and one space cache — per database, however many
+// (query, cross) combinations the experiment sweeps.
+func (c *Config) sessionFor(db *storage.DB, cross bool) *engine.Session {
+	st := c.runtime()
+	st.mu.Lock()
+	eng, ok := st.engines[db]
+	if !ok {
+		eng = engine.New(db)
+		st.engines[db] = eng
+	}
+	st.mu.Unlock()
 	if c.Rules != nil {
 		cfg := *c.Rules
 		cfg.AllowCartesian = cross
-		return engine.New(db, engine.WithRules(cfg))
+		return eng.Session(engine.WithRules(cfg))
 	}
-	return engine.New(db, engine.WithCartesian(cross))
+	return eng.Session(engine.WithCartesian(cross))
+}
+
+// workers resolves the sharding width.
+func (c *Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	return w
 }
 
 // DefaultConfig matches the paper's sample size.
@@ -65,9 +125,8 @@ func DefaultConfig() Config { return Config{SampleSize: 10000, Seed: 1} }
 
 // ScaledCosts prepares a query, samples cfg.SampleSize plans uniformly,
 // and returns their costs scaled to the optimum, plus the prepared query.
-func ScaledCosts(db *storage.DB, sqlText string, cross bool, cfg Config) ([]float64, *engine.Prepared, error) {
-	e := cfg.engineFor(db, cross)
-	p, err := e.Prepare(sqlText)
+func ScaledCosts(db *storage.DB, sqlText string, cross bool, cfg *Config) ([]float64, *engine.Prepared, error) {
+	p, err := cfg.sessionFor(db, cross).Prepare(sqlText)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -78,68 +137,104 @@ func ScaledCosts(db *storage.DB, sqlText string, cross bool, cfg Config) ([]floa
 	return costs, p, nil
 }
 
-// sampleScaledCosts draws cfg.SampleSize uniform plans and costs them.
-// On the uint64 fast path it samples ranks in batches and unranks them
-// through one reused arena — the sampled plan is costed and discarded,
-// so no per-plan allocation survives the loop. The big.Int fallback
-// draws plan by plan; both paths see the same plans for the same seed.
-func sampleScaledCosts(p *engine.Prepared, cfg Config) ([]float64, error) {
-	smp, err := p.Sampler(cfg.Seed)
-	if err != nil {
-		return nil, err
+// sampleScaledCosts draws cfg.SampleSize uniform plans and costs them,
+// sharded across cfg.workers() workers. Each worker owns a sampler
+// seeded by core.DeriveSeed, an arena, and a cost stack, and fills a
+// fixed region of the output, so the result is reproducible for a given
+// (seed, size, workers) regardless of scheduling — and no per-plan
+// allocation survives any worker's loop.
+func sampleScaledCosts(p *engine.Prepared, cfg *Config) ([]float64, error) {
+	k := cfg.SampleSize
+	w := cfg.workers()
+	if w > k {
+		w = k
 	}
-	costs := make([]float64, 0, cfg.SampleSize)
-	if smp.Fast() {
-		const chunk = 1024
-		ranks := make([]uint64, chunk)
-		var arena core.Arena
-		for remaining := cfg.SampleSize; remaining > 0; {
-			n := chunk
-			if remaining < n {
-				n = remaining
-			}
-			if err := smp.SampleRanks(ranks[:n]); err != nil {
-				return nil, err
-			}
-			for _, r := range ranks[:n] {
-				pl, err := p.Space.UnrankInto(r, &arena)
-				if err != nil {
-					return nil, err
-				}
-				sc, err := p.ScaledCost(pl)
-				if err != nil {
-					return nil, err
-				}
-				costs = append(costs, sc)
-			}
-			remaining -= n
-		}
-		return costs, nil
+	if w <= 1 {
+		costs := make([]float64, k)
+		return costs, sampleRegion(p, cfg.Seed, costs)
 	}
-	for i := 0; i < cfg.SampleSize; i++ {
-		_, pl, err := smp.Next()
+	costs := make([]float64, k)
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo := i * k / w
+		hi := (i + 1) * k / w
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			errs[i] = sampleRegion(p, core.DeriveSeed(cfg.Seed, i), costs[lo:hi])
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		sc, err := p.ScaledCost(pl)
-		if err != nil {
-			return nil, err
-		}
-		costs = append(costs, sc)
 	}
 	return costs, nil
 }
 
+// sampleRegion fills out with scaled costs of uniform plans drawn under
+// seed. On the uint64 fast path it samples ranks in batches and unranks
+// them through one reused arena and cost stack — the sampled plan is
+// costed and discarded, so the loop is allocation-free after warm-up.
+// The big.Int fallback draws plan by plan; both paths see the same
+// plans for the same seed.
+func sampleRegion(p *engine.Prepared, seed int64, out []float64) error {
+	smp, err := p.Sampler(seed)
+	if err != nil {
+		return err
+	}
+	var costBuf plan.CostBuf
+	if smp.Fast() {
+		const chunk = 1024
+		ranks := make([]uint64, chunk)
+		var arena core.Arena
+		for off := 0; off < len(out); off += chunk {
+			n := len(out) - off
+			if n > chunk {
+				n = chunk
+			}
+			if err := smp.SampleRanks(ranks[:n]); err != nil {
+				return err
+			}
+			for i, r := range ranks[:n] {
+				pl, err := p.Space.UnrankInto(r, &arena)
+				if err != nil {
+					return err
+				}
+				sc, err := p.ScaledCostWith(pl, &costBuf)
+				if err != nil {
+					return err
+				}
+				out[off+i] = sc
+			}
+		}
+		return nil
+	}
+	for i := range out {
+		_, pl, err := smp.Next()
+		if err != nil {
+			return err
+		}
+		sc, err := p.ScaledCostWith(pl, &costBuf)
+		if err != nil {
+			return err
+		}
+		out[i] = sc
+	}
+	return nil
+}
+
 // Table1 computes one row of Table 1 for a named TPC-H query.
-func Table1(db *storage.DB, query string, cross bool, cfg Config) (Table1Row, error) {
+func Table1(db *storage.DB, query string, cross bool, cfg *Config) (Table1Row, error) {
 	sqlText, ok := tpch.Query(query)
 	if !ok {
 		return Table1Row{}, fmt.Errorf("experiments: unknown query %q", query)
 	}
-	e := cfg.engineFor(db, cross)
 
 	countStart := time.Now()
-	p, err := e.Prepare(sqlText)
+	p, err := cfg.sessionFor(db, cross).Prepare(sqlText)
 	if err != nil {
 		return Table1Row{}, err
 	}
@@ -164,6 +259,7 @@ func Table1(db *storage.DB, query string, cross bool, cfg Config) (Table1Row, er
 		Max:        sum.Max,
 		WithinTwo:  sum.WithinTwo,
 		WithinTen:  sum.WithinTen,
+		Cached:     p.Cached,
 		CountTime:  countTime,
 		SampleTime: sampleTime,
 	}, nil
@@ -171,7 +267,7 @@ func Table1(db *storage.DB, query string, cross bool, cfg Config) (Table1Row, er
 
 // Table1All computes the full table: the paper's four queries without and
 // then with Cartesian products.
-func Table1All(db *storage.DB, cfg Config) ([]Table1Row, error) {
+func Table1All(db *storage.DB, cfg *Config) ([]Table1Row, error) {
 	var rows []Table1Row
 	for _, cross := range []bool{false, true} {
 		for _, q := range tpch.PaperQueries() {
@@ -217,7 +313,7 @@ type Figure4Plot struct {
 }
 
 // Figure4 builds one panel with the given bucket count.
-func Figure4(db *storage.DB, query string, cross bool, buckets int, cfg Config) (*Figure4Plot, error) {
+func Figure4(db *storage.DB, query string, cross bool, buckets int, cfg *Config) (*Figure4Plot, error) {
 	sqlText, ok := tpch.Query(query)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown query %q", query)

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/storage"
 	"repro/internal/tpch"
 )
@@ -33,13 +34,13 @@ func expDB(t *testing.T) *storage.DB {
 
 // quickCfg keeps test runtime low; the full 10k-sample runs live in the
 // benchmark harness and cmd/costdist.
-var quickCfg = Config{SampleSize: 400, Seed: 1}
+var quickCfg = Config{SampleSize: 400, Seed: 1, Workers: 2}
 
 // TestTable1Shape verifies the qualitative claims of Table 1 (E1) at a
 // reduced sample size: enormous plan counts, sampled minimum close to the
 // optimum, mean far above it, and a nontrivial fraction within 10x.
 func TestTable1Shape(t *testing.T) {
-	row, err := Table1(expDB(t), "Q5", false, quickCfg)
+	row, err := Table1(expDB(t), "Q5", false, &quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,11 +70,11 @@ func TestTable1Shape(t *testing.T) {
 // TestTable1CrossLarger: the Cartesian rows of Table 1 always dominate
 // the restricted rows in space size.
 func TestTable1CrossLarger(t *testing.T) {
-	base, err := Table1(expDB(t), "Q5", false, quickCfg)
+	base, err := Table1(expDB(t), "Q5", false, &quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cross, err := Table1(expDB(t), "Q5", true, quickCfg)
+	cross, err := Table1(expDB(t), "Q5", true, &quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestTable1CrossLarger(t *testing.T) {
 // front-loaded — the first quarter of buckets holds more mass than the
 // last quarter (the exponential-like shape of Figure 4).
 func TestFigure4Shape(t *testing.T) {
-	plot, err := Figure4(expDB(t), "Q5", false, 20, quickCfg)
+	plot, err := Figure4(expDB(t), "Q5", false, 20, &quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestFigure4Shape(t *testing.T) {
 // the "random noise" case the paper contrasts with the join queries.
 func TestSmallQueryDistribution(t *testing.T) {
 	q6, _ := tpch.Query("Q6")
-	costs, p, err := ScaledCosts(expDB(t), q6, false, Config{SampleSize: 50, Seed: 1})
+	costs, p, err := ScaledCosts(expDB(t), q6, false, &Config{SampleSize: 50, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,5 +212,85 @@ func TestFormatTable1(t *testing.T) {
 		if !contains(s, want) {
 			t.Errorf("FormatTable1 missing %q:\n%s", want, s)
 		}
+	}
+}
+
+// TestParallelSamplingDeterministic: sharded sampling is reproducible
+// for a fixed (seed, size, workers), each worker's region matches an
+// independent sampler seeded by core.DeriveSeed, and Workers=1 matches
+// the sequential path.
+func TestParallelSamplingDeterministic(t *testing.T) {
+	q5, _ := tpch.Query("Q5")
+	run := func(workers int) []float64 {
+		t.Helper()
+		cfg := Config{SampleSize: 300, Seed: 9, Workers: workers}
+		costs, _, err := ScaledCosts(expDB(t), q5, false, &cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return costs
+	}
+	a, b := run(3), run(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identical parallel runs", i)
+		}
+	}
+
+	// Worker 1's region equals a sequential draw under the derived seed.
+	cfg := Config{SampleSize: 300, Seed: 9, Workers: 1}
+	p, err := cfg.sessionFor(expDB(t), false).Prepare(q5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, w := 300, 3
+	lo, hi := 1*k/w, 2*k/w
+	region := make([]float64, hi-lo)
+	if err := sampleRegion(p, core.DeriveSeed(9, 1), region); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range region {
+		if a[lo+i] != c {
+			t.Fatalf("worker 1 draw %d: %g != independently derived %g", i, a[lo+i], c)
+		}
+	}
+}
+
+// TestConfigReusesEngineAndCache: repeated Table1/Figure4 calls through
+// one config share a single engine and space cache — the second call
+// for a (query, cross) pair must be served from the cache.
+func TestConfigReusesEngineAndCache(t *testing.T) {
+	cfg := Config{SampleSize: 50, Seed: 1, Workers: 2}
+	first, err := Table1(expDB(t), "Q7", false, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first Table1 call reported a cache hit")
+	}
+	second, err := Table1(expDB(t), "Q7", false, &cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("second Table1 call re-optimized instead of hitting the cache")
+	}
+	if first.Plans.Cmp(second.Plans) != 0 {
+		t.Errorf("counts differ across cache hit: %s vs %s", first.Plans, second.Plans)
+	}
+	// Same config, same seed, same workers: identical sampled summary.
+	if first.Mean != second.Mean || first.Max != second.Max {
+		t.Errorf("sampled summary differs across cache hit: %+v vs %+v", first, second)
+	}
+	// Figure4 over the same pair rides the same cached space.
+	if _, err := Figure4(expDB(t), "Q7", false, 10, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	st := cfg.sessionFor(expDB(t), false).Engine().Cache().Stats()
+	if st.Misses != 1 {
+		t.Errorf("cache misses = %d, want 1 (one cold build for Q7)", st.Misses)
+	}
+	if st.Hits < 2 {
+		t.Errorf("cache hits = %d, want >= 2", st.Hits)
 	}
 }

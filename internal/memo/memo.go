@@ -156,7 +156,11 @@ type Expr struct {
 
 	// LocalCost is the operator's own cost contribution, excluding
 	// children; filled in by the cost package after construction.
-	LocalCost float64
+	// LocalCostValid marks it as filled: costing a plan then reuses the
+	// memoized value instead of re-deriving it per plan — the hot
+	// sampling loops cost thousands of plans over the same operators.
+	LocalCost      float64
+	LocalCostValid bool
 }
 
 // IsEnforcer reports whether the expression is a property enforcer.

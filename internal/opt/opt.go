@@ -104,6 +104,7 @@ func annotateLocalCosts(m *memo.Memo, model *cost.Model) error {
 				return err
 			}
 			e.LocalCost = lc
+			e.LocalCostValid = true
 		}
 	}
 	return nil

@@ -38,6 +38,33 @@ func (n *Node) Cost(m *cost.Model) (float64, error) {
 	return m.Combine(n.Expr, childCosts)
 }
 
+// CostBuf is a reusable value stack for CostWith. The zero value is
+// ready; after it has grown to a plan's depth×fanout it is never
+// reallocated, so steady-state costing of sampled plans performs no
+// heap allocation. A CostBuf must not be shared across goroutines.
+type CostBuf struct {
+	stack []float64
+}
+
+// CostWith is Cost evaluating child costs on buf's shared stack instead
+// of allocating a slice per node — the costing path for hot sampling
+// loops (experiments, the plan-space server) that cost and discard
+// thousands of plans.
+func (n *Node) CostWith(m *cost.Model, buf *CostBuf) (float64, error) {
+	base := len(buf.stack)
+	for _, c := range n.Children {
+		cc, err := c.CostWith(m, buf)
+		if err != nil {
+			buf.stack = buf.stack[:base]
+			return 0, err
+		}
+		buf.stack = append(buf.stack, cc)
+	}
+	total, err := m.Combine(n.Expr, buf.stack[base:])
+	buf.stack = buf.stack[:base]
+	return total, err
+}
+
 // Operators returns the plan's operators in preorder — the form the
 // paper's appendix lists plans in ("we unranked the operators 7.7, 4.3,
 // 3.4, 2.3, and 1.3").

@@ -1,0 +1,564 @@
+// Package serve exposes the plan-space engine as a long-running HTTP
+// service: counting, unranking, sampling, and explaining execution plans
+// over JSON, for concurrent clients. The paper's interface is inherently
+// service-shaped — once a query's space is counted, every per-call
+// operation (count lookup, unrank, sample) is cheap — so the server
+// fronts the engine's fingerprint-keyed SpaceCache: the first request
+// for a (query, config) pays parse+bind+optimize+count, every later
+// request for the same fingerprint is a cache hit, and concurrent
+// requests for one cold fingerprint collapse into a single build.
+//
+// Endpoints (all request/response bodies are JSON):
+//
+//	POST /prepare  — parse, optimize, count; returns fingerprint + space parameters
+//	POST /count    — plan count only
+//	POST /unrank   — batch of plan numbers → plan trees with scaled costs
+//	POST /sample   — k uniform plans; rides the uint64 batched fast path
+//	POST /explain  — EXPLAIN tree of the optimal plan or a numbered plan
+//	GET  /stats    — cache hit/miss/eviction counters, uptime, request counts
+//
+// Plan numbers cross the wire as decimal strings: spaces beyond 2^53
+// (Table 1 tops out at 4.4·10^12, Cartesian variants at 2.7·10^22)
+// would be mangled by JSON number parsing.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/histogram"
+	"repro/internal/plan"
+)
+
+// Request caps: a request body is metadata-sized, one unrank batch is
+// bounded like core's own batches, and one sample call is capped at the
+// paper's experiment scale ×10.
+const (
+	maxBodyBytes   = 1 << 20
+	maxUnrankBatch = 4096
+	maxSampleK     = 100000
+)
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithQueryResolver lets requests name queries (e.g. "Q5") instead of
+// carrying SQL text; resolve maps a name to SQL, reporting ok=false for
+// unknown names. cmd/planserved installs the TPC-H catalog of queries.
+func WithQueryResolver(resolve func(name string) (string, bool)) Option {
+	return func(s *Server) { s.resolve = resolve }
+}
+
+// Server serves one engine's database and space cache over HTTP. All
+// handlers are safe for concurrent use: prepared spaces are immutable
+// and shared, and per-request state (samplers, arenas, cost stacks)
+// stays request-local.
+type Server struct {
+	engine  *engine.Engine
+	resolve func(string) (string, bool)
+	mux     *http.ServeMux
+	start   time.Time
+
+	reqs     [endpointCount]atomic.Uint64
+	errCount atomic.Uint64
+}
+
+// endpoint indexes the request counters.
+type endpoint int
+
+const (
+	epPrepare endpoint = iota
+	epCount
+	epUnrank
+	epSample
+	epExplain
+	epStats
+	endpointCount
+)
+
+var endpointNames = [endpointCount]string{"prepare", "count", "unrank", "sample", "explain", "stats"}
+
+// New returns a server over e.
+func New(e *engine.Engine, opts ...Option) *Server {
+	s := &Server{engine: e, start: time.Now(), mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
+	s.mux.HandleFunc("POST /prepare", s.handlePrepare)
+	s.mux.HandleFunc("POST /count", s.handleCount)
+	s.mux.HandleFunc("POST /unrank", s.handleUnrank)
+	s.mux.HandleFunc("POST /sample", s.handleSample)
+	s.mux.HandleFunc("POST /explain", s.handleExplain)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// QueryRequest is the common request envelope: the query (SQL text, or a
+// name when a resolver is installed) plus the session configuration.
+type QueryRequest struct {
+	SQL   string `json:"sql,omitempty"`
+	Query string `json:"query,omitempty"` // named query, via the resolver
+	Cross bool   `json:"cross,omitempty"` // allow Cartesian products
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	s.errCount.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// decode reads a JSON body into v.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.writeErr(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// prepare resolves and prepares the request's query through the session
+// pipeline — the single Prepare path all endpoints share.
+func (s *Server) prepare(w http.ResponseWriter, q QueryRequest) (*engine.Prepared, bool) {
+	sqlText := q.SQL
+	switch {
+	case sqlText != "" && q.Query != "":
+		s.writeErr(w, http.StatusBadRequest, "provide sql or query, not both")
+		return nil, false
+	case sqlText == "" && q.Query == "":
+		s.writeErr(w, http.StatusBadRequest, "provide sql text or a query name")
+		return nil, false
+	case q.Query != "":
+		if s.resolve == nil {
+			s.writeErr(w, http.StatusBadRequest, "named queries are not configured; send sql text")
+			return nil, false
+		}
+		t, ok := s.resolve(q.Query)
+		if !ok {
+			s.writeErr(w, http.StatusNotFound, "unknown query %q", q.Query)
+			return nil, false
+		}
+		sqlText = t
+	}
+	p, err := s.engine.Session(engine.WithCartesian(q.Cross)).Prepare(sqlText)
+	if err != nil {
+		s.writeErr(w, http.StatusUnprocessableEntity, "prepare: %v", err)
+		return nil, false
+	}
+	return p, true
+}
+
+// SpaceInfo describes a prepared space; every space-touching response
+// embeds it.
+type SpaceInfo struct {
+	Fingerprint string `json:"fingerprint"`
+	Count       string `json:"count"`
+	Arithmetic  string `json:"arithmetic"` // "uint64" or "big"
+	Cached      bool   `json:"cached"`
+}
+
+func spaceInfo(p *engine.Prepared) SpaceInfo {
+	return SpaceInfo{
+		Fingerprint: p.Fingerprint().String(),
+		Count:       p.Count().String(),
+		Arithmetic:  p.Space.Arithmetic(),
+		Cached:      p.Cached,
+	}
+}
+
+// PrepareResponse reports the counted space's parameters.
+type PrepareResponse struct {
+	SpaceInfo
+	Canonical   string  `json:"canonical_sql"`
+	Groups      int     `json:"groups"`
+	PhysicalOps int     `json:"physical_operators"`
+	EnforcerOps int     `json:"enforcer_operators"`
+	OptimalCost float64 `json:"optimal_cost"`
+	OptimalRank string  `json:"optimal_rank"`
+	PrepareMs   float64 `json:"prepare_ms"`
+}
+
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	s.reqs[epPrepare].Add(1)
+	var req QueryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	start := time.Now()
+	p, ok := s.prepare(w, req)
+	if !ok {
+		return
+	}
+	rank, err := p.OptimalRank()
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, "ranking optimal plan: %v", err)
+		return
+	}
+	st := p.Opt.Memo.Stats()
+	writeJSON(w, PrepareResponse{
+		SpaceInfo:   spaceInfo(p),
+		Canonical:   p.Shared.Canonical,
+		Groups:      st.Groups,
+		PhysicalOps: st.PhysicalOps,
+		EnforcerOps: st.EnforcerOps,
+		OptimalCost: p.OptimalCost(),
+		OptimalRank: rank.String(),
+		PrepareMs:   float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	s.reqs[epCount].Add(1)
+	var req QueryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	p, ok := s.prepare(w, req)
+	if !ok {
+		return
+	}
+	writeJSON(w, spaceInfo(p))
+}
+
+// UnrankRequest asks for a batch of plans by number.
+type UnrankRequest struct {
+	QueryRequest
+	Ranks []string `json:"ranks"`
+}
+
+// PlanResponse is one materialized plan.
+type PlanResponse struct {
+	Rank       string  `json:"rank"`
+	ScaledCost float64 `json:"scaled_cost"`
+	Tree       string  `json:"tree"`
+}
+
+// UnrankResponse carries the batch, in request order.
+type UnrankResponse struct {
+	SpaceInfo
+	Plans []PlanResponse `json:"plans"`
+}
+
+func (s *Server) handleUnrank(w http.ResponseWriter, r *http.Request) {
+	s.reqs[epUnrank].Add(1)
+	var req UnrankRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Ranks) == 0 {
+		s.writeErr(w, http.StatusBadRequest, "ranks is empty")
+		return
+	}
+	if len(req.Ranks) > maxUnrankBatch {
+		s.writeErr(w, http.StatusBadRequest, "batch of %d ranks exceeds the cap of %d", len(req.Ranks), maxUnrankBatch)
+		return
+	}
+	p, ok := s.prepare(w, req.QueryRequest)
+	if !ok {
+		return
+	}
+	resp := UnrankResponse{SpaceInfo: spaceInfo(p), Plans: make([]PlanResponse, 0, len(req.Ranks))}
+	var costBuf plan.CostBuf
+	for _, text := range req.Ranks {
+		rank, okRank := new(big.Int).SetString(text, 10)
+		if !okRank || rank.Sign() < 0 {
+			s.writeErr(w, http.StatusBadRequest, "invalid plan number %q", text)
+			return
+		}
+		pl, err := p.Unrank(rank)
+		if err != nil {
+			s.writeErr(w, http.StatusUnprocessableEntity, "unrank %s: %v", rank, err)
+			return
+		}
+		sc, err := p.ScaledCostWith(pl, &costBuf)
+		if err != nil {
+			s.writeErr(w, http.StatusInternalServerError, "costing plan %s: %v", rank, err)
+			return
+		}
+		resp.Plans = append(resp.Plans, PlanResponse{Rank: rank.String(), ScaledCost: sc, Tree: pl.String()})
+	}
+	writeJSON(w, resp)
+}
+
+// SampleRequest asks for K uniform plans.
+type SampleRequest struct {
+	QueryRequest
+	K            int   `json:"k"`
+	Seed         int64 `json:"seed"`
+	IncludePlans bool  `json:"include_plans,omitempty"` // also render plan trees (allocates per plan)
+}
+
+// SampleSummary aggregates the sampled scaled costs the way Table 1
+// does.
+type SampleSummary struct {
+	Min       float64 `json:"min"`
+	Mean      float64 `json:"mean"`
+	Max       float64 `json:"max"`
+	WithinTwo float64 `json:"within_two"` // fraction of plans <= 2x optimum
+	WithinTen float64 `json:"within_ten"` // fraction <= 10x optimum
+}
+
+// SampleResponse carries the drawn ranks with their scaled costs;
+// ranks[i] and scaled_costs[i] (and plans[i], when requested) describe
+// the same draw.
+type SampleResponse struct {
+	SpaceInfo
+	K           int           `json:"k"`
+	Seed        int64         `json:"seed"`
+	Ranks       []string      `json:"ranks"`
+	ScaledCosts []float64     `json:"scaled_costs"`
+	Summary     SampleSummary `json:"summary"`
+	Plans       []string      `json:"plans,omitempty"`
+	SampleMs    float64       `json:"sample_ms"`
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	s.reqs[epSample].Add(1)
+	var req SampleRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.K <= 0 || req.K > maxSampleK {
+		s.writeErr(w, http.StatusBadRequest, "k = %d out of range (0, %d]", req.K, maxSampleK)
+		return
+	}
+	p, ok := s.prepare(w, req.QueryRequest)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	ranks := make([]string, req.K)
+	costs := make([]float64, req.K)
+	var plans []string
+	if req.IncludePlans {
+		plans = make([]string, req.K)
+	}
+
+	smp, err := p.Sampler(req.Seed)
+	if err != nil {
+		s.writeErr(w, http.StatusUnprocessableEntity, "sampler: %v", err)
+		return
+	}
+	if smp.Fast() {
+		// The uint64 fast path: batched rank generation, arena-reused
+		// unranking, stack-reused costing. Beyond the response slices
+		// above, the loop allocates nothing per plan (the rank's decimal
+		// string is response encoding).
+		err = sampleFast(p, smp, ranks, costs, plans)
+	} else {
+		err = sampleBig(p, smp, ranks, costs, plans)
+	}
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, "sampling: %v", err)
+		return
+	}
+	sum := histogram.Summarize(costs)
+	writeJSON(w, SampleResponse{
+		SpaceInfo:   spaceInfo(p),
+		K:           req.K,
+		Seed:        req.Seed,
+		Ranks:       ranks,
+		ScaledCosts: costs,
+		Summary: SampleSummary{
+			Min: sum.Min, Mean: sum.Mean, Max: sum.Max,
+			WithinTwo: sum.WithinTwo, WithinTen: sum.WithinTen,
+		},
+		Plans:    plans,
+		SampleMs: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// sampleFast draws len(ranks) plans on the uint64 path in chunks:
+// batched rank generation (Sampler.SampleRanks), one reused arena for
+// unranking, one reused cost stack. ranks and costs are the response
+// payload; when plans is non-nil (same length as ranks) each plan's
+// tree is rendered too (which allocates, and is priced accordingly by
+// the API contract).
+func sampleFast(p *engine.Prepared, smp *core.Sampler, ranks []string, costs []float64, plans []string) error {
+	const chunk = 1024
+	var raw [chunk]uint64
+	var arena core.Arena
+	var costBuf plan.CostBuf
+	var numBuf [20]byte // fits any uint64 decimal
+	for off := 0; off < len(ranks); off += chunk {
+		n := len(ranks) - off
+		if n > chunk {
+			n = chunk
+		}
+		if err := smp.SampleRanks(raw[:n]); err != nil {
+			return err
+		}
+		for i, rk := range raw[:n] {
+			pl, err := p.Space.UnrankInto(rk, &arena)
+			if err != nil {
+				return err
+			}
+			sc, err := p.ScaledCostWith(pl, &costBuf)
+			if err != nil {
+				return err
+			}
+			costs[off+i] = sc
+			ranks[off+i] = string(strconv.AppendUint(numBuf[:0], rk, 10))
+			if plans != nil {
+				plans[off+i] = pl.String()
+			}
+		}
+	}
+	return nil
+}
+
+// sampleBig is the fallback for spaces beyond 2^64: plan-by-plan
+// sampling through math/big.
+func sampleBig(p *engine.Prepared, smp *core.Sampler, ranks []string, costs []float64, plans []string) error {
+	var costBuf plan.CostBuf
+	for i := range ranks {
+		rk, pl, err := smp.Next()
+		if err != nil {
+			return err
+		}
+		sc, err := p.ScaledCostWith(pl, &costBuf)
+		if err != nil {
+			return err
+		}
+		ranks[i] = rk.String()
+		costs[i] = sc
+		if plans != nil {
+			plans[i] = pl.String()
+		}
+	}
+	return nil
+}
+
+// ExplainRequest asks for the EXPLAIN tree of the optimal plan (rank
+// omitted) or of a specific plan number.
+type ExplainRequest struct {
+	QueryRequest
+	Rank string `json:"rank,omitempty"`
+}
+
+// ExplainResponse is the rendered tree with its cost and rank.
+type ExplainResponse struct {
+	SpaceInfo
+	Rank       string  `json:"rank"`
+	Cost       float64 `json:"cost"`
+	ScaledCost float64 `json:"scaled_cost"`
+	Optimal    bool    `json:"optimal"`
+	Tree       string  `json:"tree"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.reqs[epExplain].Add(1)
+	var req ExplainRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	p, ok := s.prepare(w, req.QueryRequest)
+	if !ok {
+		return
+	}
+	var (
+		pl   *plan.Node
+		rank *big.Int
+		err  error
+	)
+	if req.Rank == "" {
+		pl = p.OptimalPlan()
+		if rank, err = p.OptimalRank(); err != nil {
+			s.writeErr(w, http.StatusInternalServerError, "ranking optimal plan: %v", err)
+			return
+		}
+	} else {
+		var okRank bool
+		if rank, okRank = new(big.Int).SetString(req.Rank, 10); !okRank || rank.Sign() < 0 {
+			s.writeErr(w, http.StatusBadRequest, "invalid plan number %q", req.Rank)
+			return
+		}
+		if pl, err = p.Unrank(rank); err != nil {
+			s.writeErr(w, http.StatusUnprocessableEntity, "unrank %s: %v", rank, err)
+			return
+		}
+	}
+	cost, err := p.PlanCost(pl)
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, "costing: %v", err)
+		return
+	}
+	tree, err := p.Explain(pl)
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, "explain: %v", err)
+		return
+	}
+	writeJSON(w, ExplainResponse{
+		SpaceInfo:  spaceInfo(p),
+		Rank:       rank.String(),
+		Cost:       cost,
+		ScaledCost: cost / p.OptimalCost(),
+		Optimal:    req.Rank == "",
+		Tree:       tree,
+	})
+}
+
+// StatsResponse reports service health: cache effectiveness, request
+// counts, and the catalog version the cache is keyed on.
+type StatsResponse struct {
+	UptimeSeconds  float64           `json:"uptime_seconds"`
+	Cache          engine.CacheStats `json:"cache"`
+	Requests       map[string]uint64 `json:"requests"`
+	Errors         uint64            `json:"errors"`
+	CatalogID      uint64            `json:"catalog_id"`
+	CatalogVersion uint64            `json:"catalog_version"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.reqs[epStats].Add(1)
+	reqs := make(map[string]uint64, endpointCount)
+	for i := endpoint(0); i < endpointCount; i++ {
+		reqs[endpointNames[i]] = s.reqs[i].Load()
+	}
+	cat := s.engine.DB().Catalog()
+	writeJSON(w, StatsResponse{
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Cache:          s.engine.Cache().Stats(),
+		Requests:       reqs,
+		Errors:         s.errCount.Load(),
+		CatalogID:      cat.ID(),
+		CatalogVersion: cat.Version(),
+	})
+}
+
+// ListenAndServe runs the server on addr until the listener fails. It
+// exists for cmd/planserved; tests drive Handler through httptest.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	err := srv.ListenAndServe()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -132,6 +132,9 @@ func (db *DB) ComputeStats() error {
 			def.Columns[ci].Stats = stats
 		}
 	}
+	// Fresh statistics change what the optimizer would choose, so any
+	// plan space counted against the old stats is stale.
+	db.cat.BumpVersion()
 	return nil
 }
 
