@@ -22,17 +22,22 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/experiments"
+	"repro/internal/plan"
 	"repro/internal/rules"
 	"repro/internal/storage"
 	"repro/internal/tpch"
@@ -415,6 +420,62 @@ func BenchmarkExecuteOptimal(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkExecute prices the governed execution path on Q5: the
+// optimizer's plan against the median-cost plan of a uniform sample —
+// the "optimal vs. typical sampled plan" latency gap that motivates
+// sampling-based verification running under Governor budgets.
+func BenchmarkExecute(b *testing.B) {
+	p := prepare(b, "Q5", false)
+	opts := exec.Options{Timeout: 30 * time.Second, MaxIntermediateRows: 100_000_000}
+
+	// Median sampled plan by scaled cost among 101 seeded draws.
+	smp, err := p.Sampler(17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	type draw struct {
+		rank *big.Int
+		cost float64
+	}
+	draws := make([]draw, 101)
+	for i := range draws {
+		r := smp.NextRank()
+		pl, err := p.Unrank(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc, err := p.ScaledCost(pl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		draws[i] = draw{rank: r, cost: sc}
+	}
+	sort.Slice(draws, func(i, j int) bool { return draws[i].cost < draws[j].cost })
+	median := draws[len(draws)/2]
+	medianPlan, err := p.Unrank(median.rank)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(b *testing.B, pl *plan.Node) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			res, err := p.ExecuteWith(context.Background(), pl, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.Truncated {
+				b.Fatalf("benchmark plan truncated: %+v", res.Stats)
+			}
+		}
+	}
+	b.Run("Q5/optimal", func(b *testing.B) { run(b, p.OptimalPlan()) })
+	b.Run("Q5/median_sampled", func(b *testing.B) {
+		b.Logf("median sampled plan: rank %s, scaled cost %.2f", median.rank, median.cost)
+		run(b, medianPlan)
+	})
 }
 
 // BenchmarkVerifySampled measures the Section 4 harness (E8): execute a

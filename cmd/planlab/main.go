@@ -7,20 +7,24 @@
 // Examples:
 //
 //	planlab -query Q5 -count
-//	planlab -query Q9 -useplan 123456 -execute
+//	planlab -query Q9 -useplan 123456 -exec
 //	planlab -query Q7 -sample 5
-//	planlab -sql "SELECT ... OPTION (USEPLAN 8)" -execute
+//	planlab -sql "SELECT ... OPTION (USEPLAN 8)" -exec
+//	planlab -query Q3 -exec -exec-timeout 500ms -exec-maxwork 1000000
 //	planlab -query Q3 -dump
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/big"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/plan"
 	"repro/internal/tpch"
 )
@@ -40,17 +44,21 @@ func main() {
 		enum    = flag.Int("enum", 0, "enumerate the first n plans in rank order and print them")
 		sample  = flag.Int("sample", 0, "sample this many plans uniformly and print them")
 		sseed   = flag.Int64("sample-seed", 1, "sampling seed")
-		execute = flag.Bool("execute", false, "execute the selected plan (optimal, -useplan, or USEPLAN option)")
+		execute = flag.Bool("exec", false, "execute the selected plan (optimal, -useplan, or USEPLAN option) and print its digest and counters")
+		execTO  = flag.Duration("exec-timeout", 0, "wall-clock budget for -exec (0 = none)")
+		execMR  = flag.Int64("exec-maxrows", 0, "output row cap for -exec (0 = unlimited)")
+		execMW  = flag.Int64("exec-maxwork", 0, "intermediate-row budget for -exec (0 = unlimited)")
 	)
 	flag.Parse()
-	if err := run(*sf, *seed, *query, *sqlText, *cross, *count, *dump, *explain, *jsonOut, *useplan, *enum, *sample, *sseed, *execute); err != nil {
+	lim := exec.Options{Timeout: *execTO, MaxRows: *execMR, MaxIntermediateRows: *execMW}
+	if err := run(*sf, *seed, *query, *sqlText, *cross, *count, *dump, *explain, *jsonOut, *useplan, *enum, *sample, *sseed, *execute, lim); err != nil {
 		fmt.Fprintln(os.Stderr, "planlab:", err)
 		os.Exit(1)
 	}
 }
 
 func run(sf float64, seed int64, query, sqlText string, cross, count, dump, explain, jsonOut bool,
-	useplan string, enum, sample int, sseed int64, execute bool) error {
+	useplan string, enum, sample int, sseed int64, execute bool, lim exec.Options) error {
 
 	if sqlText == "" {
 		if query == "" {
@@ -168,11 +176,22 @@ func run(sf float64, seed int64, query, sqlText string, cross, count, dump, expl
 				return err
 			}
 		}
-		res, err := p.Execute(chosen)
+		start := time.Now()
+		res, err := p.ExecuteWith(context.Background(), chosen, lim)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s(%d rows)\n", res, len(res.Rows))
+		fmt.Printf("%s(%d rows in %v)\n", res, len(res.Rows), time.Since(start).Round(time.Microsecond))
+		fmt.Printf("digest: %s\n", res.Digest())
+		fmt.Printf("rows produced: %d | rows examined: %d", res.Stats.RowsProduced, res.Stats.RowsExamined)
+		if res.Stats.Truncated {
+			fmt.Printf(" | TRUNCATED (%s)", res.Stats.Reason)
+		}
+		fmt.Println()
+		fmt.Println("operator counters:")
+		for _, op := range res.Stats.Operators {
+			fmt.Printf("  %-6s %-32s %12d rows\n", op.Name, op.Op, op.Rows)
+		}
 	}
 	return nil
 }

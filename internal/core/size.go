@@ -1,0 +1,71 @@
+package core
+
+import "math/big"
+
+// Rough per-object overheads used by MemoryFootprint. Exact sizeofs
+// are not the point — the cache's byte accounting needs a consistent,
+// monotone estimate of how much a counted space pins, dominated by the
+// per-operator count tables this file walks precisely.
+const (
+	bigIntOverhead = 32  // big.Int header + word-slice header
+	sliceOverhead  = 24  // slice header
+	memoExprBytes  = 256 // memo.Expr with typical payload
+	memoGroupBytes = 192 // memo.Group sans Exprs slices
+	exprInfoBytes  = 96  // exprInfo struct itself
+)
+
+func bigIntBytes(x *big.Int) int64 {
+	if x == nil {
+		return 0
+	}
+	return bigIntOverhead + int64(len(x.Bits()))*8
+}
+
+// MemoryFootprint estimates the resident bytes of the counted space:
+// the MEMO it pins (groups and operators) plus the link structure the
+// counting pass materialized — candidate lists, per-slot bases and
+// prefix-sum tables on the big.Int path, and their uint64 mirrors when
+// the fast path is active. The SpaceCache's byte-budget eviction is
+// driven by this number.
+func (s *Space) MemoryFootprint() int64 {
+	var n int64
+	for _, info := range s.info {
+		if info == nil {
+			continue
+		}
+		n += exprInfoBytes
+		for _, c := range info.cands {
+			n += sliceOverhead + int64(len(c))*8
+		}
+		n += sliceOverhead + int64(len(info.b))*8
+		for _, b := range info.b {
+			n += bigIntBytes(b)
+		}
+		for _, p := range info.prefix {
+			n += sliceOverhead + int64(len(p))*8
+			for _, x := range p {
+				n += bigIntBytes(x)
+			}
+		}
+		n += bigIntBytes(info.n)
+		n += sliceOverhead + int64(len(info.b64))*8
+		for _, p := range info.prefix64 {
+			n += sliceOverhead + int64(len(p))*8
+		}
+	}
+	n += sliceOverhead + int64(len(s.info))*8
+	n += sliceOverhead + int64(len(s.rootOps))*8
+	n += sliceOverhead + int64(len(s.prefix))*8
+	for _, x := range s.prefix {
+		n += bigIntBytes(x)
+	}
+	n += bigIntBytes(s.total)
+	n += sliceOverhead + int64(len(s.prefix64))*8
+
+	if s.Memo != nil {
+		st := s.Memo.Stats()
+		n += int64(st.Groups)*memoGroupBytes +
+			int64(st.LogicalOps+st.PhysicalOps)*memoExprBytes
+	}
+	return n
+}

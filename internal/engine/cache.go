@@ -6,19 +6,29 @@ import (
 	"sync"
 )
 
-// DefaultCacheCapacity is the space cap of the cache an Engine creates
-// when none is injected. Counted spaces reference the whole MEMO, so
-// the unit of accounting is "spaces", not bytes.
+// DefaultCacheCapacity is the entry cap of the cache an Engine creates
+// when none is injected: a hard ceiling on cached spaces regardless of
+// their size.
 const DefaultCacheCapacity = 64
+
+// DefaultCacheBytes is the default byte budget of a new SpaceCache.
+// Counted spaces pin their whole MEMO plus the per-operator count
+// tables, and their sizes vary by orders of magnitude (a single-table
+// query's space is a few KB; Q8 with Cartesian products is MBs), so
+// eviction is driven by estimated bytes (PlanSpace.SizeBytes), with
+// the entry cap as a secondary bound.
+const DefaultCacheBytes = 512 << 20
 
 // CacheStats is a point-in-time snapshot of a SpaceCache's counters.
 type CacheStats struct {
 	Hits          uint64 `json:"hits"`
 	Misses        uint64 `json:"misses"`
-	Evictions     uint64 `json:"evictions"`     // LRU pressure
+	Evictions     uint64 `json:"evictions"`     // LRU pressure (entry cap or byte budget)
 	Invalidations uint64 `json:"invalidations"` // catalog version bumps
 	Entries       int    `json:"entries"`
 	Capacity      int    `json:"capacity"`
+	BytesCached   int64  `json:"bytes_cached"` // estimated bytes pinned by ready entries
+	ByteBudget    int64  `json:"byte_budget"`  // 0 = unlimited
 }
 
 // cacheEntry is one fingerprint's slot. It is inserted before the build
@@ -28,6 +38,7 @@ type CacheStats struct {
 type cacheEntry struct {
 	fp      Fingerprint
 	version uint64 // catalog version the space was built against
+	bytes   int64  // estimated size, set when the build completes
 	elem    *list.Element
 
 	ready chan struct{}
@@ -42,26 +53,40 @@ type cacheEntry struct {
 // catalog version (statistics refresh, schema change). A single cache
 // may be shared by any number of Engines and Sessions.
 type SpaceCache struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[Fingerprint]*cacheEntry
-	lru     *list.List // front = most recently used; values are *cacheEntry
-	version uint64     // newest catalog version observed
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64 // 0 = unlimited
+	bytes    int64 // estimated bytes of ready entries
+	entries  map[Fingerprint]*cacheEntry
+	lru      *list.List // front = most recently used; values are *cacheEntry
+	version  uint64     // newest catalog version observed
 
 	hits, misses, evictions, invalidations uint64
 }
 
-// NewSpaceCache returns a cache holding at most capacity counted spaces;
-// capacities below one are clamped to one.
+// NewSpaceCache returns a cache holding at most capacity counted spaces
+// and at most DefaultCacheBytes of estimated space memory; capacities
+// below one are clamped to one. Adjust or disable the byte budget with
+// SetByteBudget.
 func NewSpaceCache(capacity int) *SpaceCache {
 	if capacity < 1 {
 		capacity = 1
 	}
 	return &SpaceCache{
-		cap:     capacity,
-		entries: make(map[Fingerprint]*cacheEntry),
-		lru:     list.New(),
+		cap:      capacity,
+		maxBytes: DefaultCacheBytes,
+		entries:  make(map[Fingerprint]*cacheEntry),
+		lru:      list.New(),
 	}
+}
+
+// SetByteBudget replaces the cache's byte budget (0 disables byte-based
+// eviction entirely) and immediately evicts down to the new budget.
+func (c *SpaceCache) SetByteBudget(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxBytes = n
+	c.evictLocked()
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -75,6 +100,8 @@ func (c *SpaceCache) Stats() CacheStats {
 		Invalidations: c.invalidations,
 		Entries:       len(c.entries),
 		Capacity:      c.cap,
+		BytesCached:   c.bytes,
+		ByteBudget:    c.maxBytes,
 	}
 }
 
@@ -93,7 +120,7 @@ func (c *SpaceCache) invalidateLocked(version uint64) {
 		return
 	}
 	c.version = version
-	for fp, e := range c.entries {
+	for _, e := range c.entries {
 		if e.version >= version {
 			continue
 		}
@@ -102,10 +129,17 @@ func (c *SpaceCache) invalidateLocked(version uint64) {
 		default:
 			continue // still building; its builder removes it on error, LRU handles the rest
 		}
-		delete(c.entries, fp)
-		c.lru.Remove(e.elem)
+		c.removeLocked(e)
 		c.invalidations++
 	}
+}
+
+// removeLocked drops an entry from the map, the LRU, and the byte
+// accounting (in-flight entries carry zero bytes until they complete).
+func (c *SpaceCache) removeLocked(e *cacheEntry) {
+	delete(c.entries, e.fp)
+	c.lru.Remove(e.elem)
+	c.bytes -= e.bytes
 }
 
 // GetOrBuild returns the space for fp, building it with build on a miss.
@@ -158,9 +192,14 @@ func (c *SpaceCache) runBuild(e *cacheEntry, build func() (*PlanSpace, error)) (
 			// if it still owns the slot (it may already have been
 			// LRU-evicted or invalidated).
 			if cur, ok := c.entries[e.fp]; ok && cur == e {
-				delete(c.entries, e.fp)
-				c.lru.Remove(e.elem)
+				c.removeLocked(e)
 			}
+		} else if cur, ok := c.entries[e.fp]; ok && cur == e {
+			// The size is only known now that the space exists: charge
+			// it and shed colder entries if the budget is blown.
+			e.bytes = space.SizeBytes()
+			c.bytes += e.bytes
+			c.evictLocked()
 		}
 		c.mu.Unlock()
 	}()
@@ -169,18 +208,23 @@ func (c *SpaceCache) runBuild(e *cacheEntry, build func() (*PlanSpace, error)) (
 	return space, err
 }
 
-// evictLocked trims the LRU beyond capacity, skipping entries whose
-// build is still in flight (their waiters hold references; evicting a
-// completed space only drops the cache's reference — concurrent readers
-// of an evicted space keep working on their copy of the pointer).
+// evictLocked trims the LRU while the cache exceeds the entry cap or
+// the byte budget, skipping entries whose build is still in flight
+// (their waiters hold references; evicting a completed space only drops
+// the cache's reference — concurrent readers of an evicted space keep
+// working on their copy of the pointer). The most-recently-used entry
+// is never evicted: a single space bigger than the whole byte budget
+// stays cached alone rather than being rebuilt on every request.
 func (c *SpaceCache) evictLocked() {
-	for elem := c.lru.Back(); elem != nil && len(c.entries) > c.cap; {
+	over := func() bool {
+		return len(c.entries) > c.cap || (c.maxBytes > 0 && c.bytes > c.maxBytes)
+	}
+	for elem := c.lru.Back(); elem != nil && elem != c.lru.Front() && over(); {
 		prev := elem.Prev()
 		e := elem.Value.(*cacheEntry)
 		select {
 		case <-e.ready:
-			delete(c.entries, e.fp)
-			c.lru.Remove(elem)
+			c.removeLocked(e)
 			c.evictions++
 		default:
 		}

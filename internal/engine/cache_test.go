@@ -200,3 +200,78 @@ func TestCachePanicDoesNotWedge(t *testing.T) {
 		t.Errorf("entries = %d after recovery, want 1", st.Entries)
 	}
 }
+
+// TestCacheByteBudgetEviction: eviction is driven by estimated space
+// bytes, not just entry count. Entry sizes are controlled through the
+// canonical SQL length (SizeBytes = fixed overhead + len(Canonical) for
+// a space-less PlanSpace).
+func TestCacheByteBudgetEviction(t *testing.T) {
+	c := NewSpaceCache(100) // entry cap out of the way
+	entry := func(b byte, canonLen int) (*PlanSpace, bool) {
+		t.Helper()
+		ps, cached, err := c.GetOrBuild(fp(b), 1, func() (*PlanSpace, error) {
+			return &PlanSpace{Canonical: string(make([]byte, canonLen))}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ps, cached
+	}
+	one := (&PlanSpace{}).SizeBytes() // size of a zero-canonical entry
+	c.SetByteBudget(2*one + one/2)    // room for two, not three
+
+	entry(1, 0)
+	entry(2, 0)
+	if st := c.Stats(); st.Entries != 2 || st.BytesCached != 2*one || st.Evictions != 0 {
+		t.Fatalf("two entries under budget: %+v", st)
+	}
+	entry(3, 0) // blows the budget: LRU (1) goes
+	st := c.Stats()
+	if st.Entries != 2 || st.BytesCached != 2*one || st.Evictions != 1 {
+		t.Fatalf("after byte eviction: %+v", st)
+	}
+	if _, cached := entry(1, 0); cached {
+		t.Error("fingerprint 1 should have been byte-evicted")
+	}
+
+	// A single entry bigger than the whole budget stays resident (the
+	// MRU entry is never evicted), shedding everything else.
+	entry(4, int(3*one))
+	st = c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("oversized entry handling: %+v", st)
+	}
+	if _, cached := entry(4, int(3*one)); !cached {
+		t.Error("oversized MRU entry was evicted; it should stay cached alone")
+	}
+
+	// Tightening the budget evicts immediately; 0 disables byte-based
+	// eviction entirely.
+	entry(5, 0)
+	c.SetByteBudget(0)
+	entry(6, 0)
+	entry(7, 0)
+	if st := c.Stats(); st.Entries < 3 {
+		t.Errorf("byte eviction ran with budget disabled: %+v", st)
+	}
+}
+
+// TestCacheBytesAccounting: invalidation and failed builds release
+// their bytes; in-flight entries carry none.
+func TestCacheBytesAccounting(t *testing.T) {
+	c := NewSpaceCache(8)
+	for b := byte(1); b <= 3; b++ {
+		c.GetOrBuild(fp(b), 1, func() (*PlanSpace, error) { return &PlanSpace{}, nil })
+	}
+	if st := c.Stats(); st.BytesCached <= 0 {
+		t.Fatalf("no bytes accounted: %+v", st)
+	}
+	c.Invalidate(2)
+	if st := c.Stats(); st.BytesCached != 0 {
+		t.Errorf("bytes not released on invalidation: %+v", st)
+	}
+	c.GetOrBuild(fp(9), 2, func() (*PlanSpace, error) { return nil, errors.New("boom") })
+	if st := c.Stats(); st.BytesCached != 0 {
+		t.Errorf("failed build left bytes behind: %+v", st)
+	}
+}

@@ -22,8 +22,10 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/big"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/core"
@@ -246,6 +248,9 @@ type Prepared struct {
 	engine *Engine
 }
 
+// Engine returns the engine this statement was prepared against.
+func (p *Prepared) Engine() *Engine { return p.engine }
+
 // Fingerprint returns the canonical identity of the statement's space.
 func (p *Prepared) Fingerprint() Fingerprint { return p.Shared.Fingerprint }
 
@@ -312,9 +317,18 @@ func (p *Prepared) ScaledCostWith(n *plan.Node, buf *plan.CostBuf) (float64, err
 	return c / p.Opt.BestCost, nil
 }
 
-// Execute runs a specific plan from this query's space.
+// Execute runs a specific plan from this query's space to completion
+// with no resource limits (the trusted-caller path). Governed execution
+// goes through ExecuteWith or Session.Execute.
 func (p *Prepared) Execute(n *plan.Node) (*exec.Result, error) {
 	return exec.Run(n, p.engine.db, p.Query)
+}
+
+// ExecuteWith runs a specific plan from this query's space under ctx
+// and the given Governor limits. Limit terminations come back as a
+// truncated Result with nil error (see exec.RunWithOptions).
+func (p *Prepared) ExecuteWith(ctx context.Context, n *plan.Node, opts exec.Options) (*exec.Result, error) {
+	return exec.RunWithOptions(ctx, n, p.engine.db, p.Query, opts)
 }
 
 // ChosenPlan returns the plan the statement selects: plan UsePlan when
@@ -324,6 +338,83 @@ func (p *Prepared) ChosenPlan() (*plan.Node, error) {
 		return p.Space.Unrank(p.UsePlan)
 	}
 	return p.Opt.Best, nil
+}
+
+// ExecOptions configures Session.Execute: which plan to run (Rank
+// overrides the statement's OPTION (USEPLAN n), which overrides the
+// optimizer's choice) and the Governor limits to run it under. Zero
+// limit fields mean unlimited — HTTP-facing callers apply their own
+// server-side defaults before calling.
+type ExecOptions struct {
+	// Rank selects a specific plan number from the space, overriding
+	// both USEPLAN and the optimizer's choice. Nil = no override.
+	Rank *big.Int
+
+	Timeout             time.Duration
+	MaxRows             int64
+	MaxIntermediateRows int64
+}
+
+// Execution is the product of Session.Execute: the prepared statement
+// (riding the fingerprint cache exactly like Prepare), the plan that
+// actually ran — identified by rank — and the governed result.
+type Execution struct {
+	Prepared   *Prepared
+	Rank       *big.Int
+	Plan       *plan.Node
+	ScaledCost float64
+	Result     *exec.Result
+}
+
+// Execute parses, prepares (through the SpaceCache — repeated
+// executions of one query pay optimization and counting once), resolves
+// the plan the statement selects, and runs it under the given limits.
+// The resolution order is ExecOptions.Rank, then OPTION (USEPLAN n) in
+// the SQL, then the optimizer's choice. Limit terminations return an
+// Execution whose Result is truncated (Result.Stats.Truncated) with a
+// nil error; a nil ctx is treated as context.Background().
+func (s *Session) Execute(ctx context.Context, sqlText string, opts ExecOptions) (*Execution, error) {
+	p, err := s.Prepare(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		pl   *plan.Node
+		rank *big.Int
+	)
+	switch {
+	case opts.Rank != nil:
+		rank = opts.Rank
+		if rank.Sign() < 0 || rank.Cmp(p.Count()) >= 0 {
+			return nil, fmt.Errorf("engine: plan %s out of range: query has %s plans", rank, p.Count())
+		}
+		if pl, err = p.Unrank(rank); err != nil {
+			return nil, err
+		}
+	case p.UsePlan != nil:
+		rank = p.UsePlan
+		if pl, err = p.Unrank(rank); err != nil {
+			return nil, err
+		}
+	default:
+		pl = p.OptimalPlan()
+		if rank, err = p.OptimalRank(); err != nil {
+			return nil, err
+		}
+	}
+	sc, err := p.ScaledCost(pl)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.ExecuteWith(ctx, pl, exec.Options{
+		Timeout:             opts.Timeout,
+		MaxRows:             opts.MaxRows,
+		MaxIntermediateRows: opts.MaxIntermediateRows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Execution{Prepared: p, Rank: rank, Plan: pl, ScaledCost: sc, Result: res}, nil
 }
 
 // OutputOrdering maps the query's ORDER BY onto result column positions.

@@ -1,0 +1,23 @@
+package engine
+
+// planSpaceOverhead approximates what a cached PlanSpace pins beyond
+// the counted space itself: the bound algebra query, the optimizer
+// result (best plan, cost model, estimator state), and bookkeeping.
+const planSpaceOverhead = 8 << 10
+
+// SizeBytes estimates the resident bytes this PlanSpace pins while
+// cached: the counted space's link structure and MEMO (the dominant
+// term — see core.Space.MemoryFootprint) plus the canonical SQL and a
+// fixed overhead for the query/optimizer objects. The SpaceCache's
+// byte-budget eviction runs on this estimate.
+func (ps *PlanSpace) SizeBytes() int64 {
+	if ps == nil {
+		return 0
+	}
+	var n int64 = planSpaceOverhead
+	n += int64(len(ps.Canonical))
+	if ps.Space != nil {
+		n += ps.Space.MemoryFootprint()
+	}
+	return n
+}

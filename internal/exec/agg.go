@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"repro/internal/algebra"
 	"repro/internal/data"
 	"repro/internal/memo"
@@ -94,6 +96,7 @@ func (a *aggAcc) final() data.Value {
 // variant accumulates all groups in a table. Results are identical — the
 // verification harness depends on that.
 type aggIter struct {
+	opNode
 	child   Iterator
 	stream  bool
 	keyFns  []evalFunc
@@ -190,12 +193,15 @@ func (a *aggIter) emitRow(keys []data.Value, accs []aggAcc) data.Row {
 	return row
 }
 
-func (a *aggIter) Open() error {
+func (a *aggIter) Open(ctx context.Context) error {
 	a.groups, a.order, a.accs = nil, nil, nil
 	a.emitPos, a.prepared = 0, false
 	a.curKey, a.curAccs, a.haveCur, a.done = nil, nil, false, false
 	a.scalarDone, a.scalarEmpty = false, false
-	return a.child.Open()
+	if err := a.enter(); err != nil {
+		return err
+	}
+	return a.child.Open(ctx)
 }
 
 func (a *aggIter) Next() (data.Row, bool, error) {
@@ -226,6 +232,9 @@ func (a *aggIter) nextScalar() (data.Row, bool, error) {
 		}
 	}
 	a.scalarDone = true
+	if err := a.emit(); err != nil {
+		return nil, false, err
+	}
 	return a.emitRow(nil, accs), true, nil
 }
 
@@ -268,6 +277,9 @@ func (a *aggIter) nextHash() (data.Row, bool, error) {
 	}
 	row := a.emitRow(a.order[a.emitPos], a.accs[a.emitPos])
 	a.emitPos++
+	if err := a.emit(); err != nil {
+		return nil, false, err
+	}
 	return row, true, nil
 }
 
@@ -284,6 +296,9 @@ func (a *aggIter) nextStream() (data.Row, bool, error) {
 		if !ok {
 			a.done = true
 			if a.haveCur {
+				if err := a.emit(); err != nil {
+					return nil, false, err
+				}
 				return a.emitRow(a.curKey, a.curAccs), true, nil
 			}
 			return nil, false, nil
@@ -304,6 +319,9 @@ func (a *aggIter) nextStream() (data.Row, bool, error) {
 			a.curKey = append(data.Row(nil), keys...)
 			a.curAccs = a.newAccs()
 			if err := a.accumulate(a.curAccs, row); err != nil {
+				return nil, false, err
+			}
+			if err := a.emit(); err != nil {
 				return nil, false, err
 			}
 			return out, true, nil
@@ -331,4 +349,8 @@ func sameKeys(a, b []data.Value) bool {
 	return true
 }
 
-func (a *aggIter) Close() error { return a.child.Close() }
+func (a *aggIter) Close() error {
+	err := a.child.Close()
+	a.leave()
+	return err
+}

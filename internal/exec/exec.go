@@ -1,12 +1,14 @@
 package exec
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/data"
@@ -14,35 +16,91 @@ import (
 	"repro/internal/storage"
 )
 
-// Result is a fully materialized query result.
+// ExecStats records what one execution did: output and intermediate row
+// counts, per-operator counters, wall-clock time, and whether a
+// Governor limit cut the run short (and why).
+type ExecStats struct {
+	RowsProduced int64         `json:"rows_produced"`
+	RowsExamined int64         `json:"rows_examined"`
+	Truncated    bool          `json:"truncated"`
+	Reason       string        `json:"reason,omitempty"` // one of the Reason* constants
+	Elapsed      time.Duration `json:"-"`
+	Operators    []OpStats     `json:"operators,omitempty"`
+}
+
+// Result is a fully materialized query result. When Stats.Truncated is
+// set the rows are the valid prefix produced before a Governor limit
+// tripped — useful for inspection, not for verification.
 type Result struct {
 	Columns []string
 	Rows    []data.Row
+	Stats   ExecStats
 }
 
-// Run executes a physical plan to completion.
+// Run executes a physical plan to completion with no limits — the
+// library-internal path for trusted plans (tests, experiments, the
+// verification harness). Governed callers use RunWithOptions.
 func Run(p *plan.Node, db *storage.DB, q *algebra.Query) (*Result, error) {
-	it, err := Build(p, db, q)
+	return RunWithOptions(context.Background(), p, db, q, Options{})
+}
+
+// RunWithOptions executes a physical plan under ctx and the given
+// resource limits. Limit terminations (deadline, row cap, work budget,
+// cancellation) return the partial Result with Stats.Truncated set and
+// a nil error; only genuine execution faults (bad plan, runtime errors
+// like division by zero) return a non-nil error. The iterator tree is
+// fully closed on every path — success, truncation, and failure alike.
+func RunWithOptions(ctx context.Context, p *plan.Node, db *storage.DB, q *algebra.Query, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	gov := NewGovernor(ctx, opts)
+	it, err := Build(p, db, q, gov)
 	if err != nil {
 		return nil, err
 	}
-	if err := it.Open(); err != nil {
-		return nil, err
-	}
+	start := time.Now()
 	res := &Result{Columns: q.OutputNames()}
-	for {
-		row, ok, err := it.Next()
-		if err != nil {
-			it.Close()
-			return nil, err
+	runErr := func() error {
+		if err := it.Open(ctx); err != nil {
+			return err
 		}
-		if !ok {
-			break
+		for {
+			row, ok, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			// The cap is only a truncation if a row actually exists
+			// beyond it — a result of exactly MaxRows rows is complete.
+			if opts.MaxRows > 0 && int64(len(res.Rows)) >= opts.MaxRows {
+				res.Stats.Truncated = true
+				res.Stats.Reason = ReasonRowLimit
+				return nil
+			}
+			res.Rows = append(res.Rows, row.Clone())
 		}
-		res.Rows = append(res.Rows, row.Clone())
+	}()
+	closeErr := it.Close()
+	res.Stats.RowsProduced = int64(len(res.Rows))
+	res.Stats.RowsExamined = gov.RowsExamined()
+	res.Stats.Operators = gov.Stats()
+	res.Stats.Elapsed = time.Since(start)
+	if runErr != nil {
+		reason := truncationReason(runErr)
+		if reason == "" {
+			return nil, runErr
+		}
+		res.Stats.Truncated = true
+		res.Stats.Reason = reason
 	}
-	if err := it.Close(); err != nil {
-		return nil, err
+	// Truncated runs deliver their partial result even if teardown
+	// complained — both truncation flavors treat Close alike; a Close
+	// fault only surfaces for runs that completed normally.
+	if !res.Stats.Truncated && closeErr != nil {
+		return nil, closeErr
 	}
 	return res, nil
 }

@@ -4,6 +4,13 @@
 // needs: "if two candidate plans fail to produce the same results, then
 // either the optimizer considered an invalid plan, or the execution code
 // is faulty" (Section 1).
+//
+// Because uniformly sampled plans are routinely orders of magnitude
+// worse than the optimum, execution is resource-governed: every
+// iterator in a plan shares one Governor (wall-clock deadline,
+// output-row cap, intermediate-row budget, cooperative cancellation),
+// and RunWithOptions converts limit trips into truncated partial
+// results with structured reasons instead of unbounded runs.
 package exec
 
 import (

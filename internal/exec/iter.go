@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/algebra"
@@ -15,52 +16,77 @@ import (
 // row, so every iterator must support repeated Open calls; materializing
 // iterators (sort, hash structures) may cache their state across re-Opens
 // because a sub-plan always produces the same rows within one execution.
+//
+// Close must be safe to call at any point after Build — before Open,
+// mid-stream after an error from Next, or repeatedly — and must cascade
+// to every child each time: the mid-stream error contract is that one
+// root Close tears the whole tree down, which the Governor's lifecycle
+// audit (OpenIterators == 0) verifies.
 type Iterator interface {
-	Open() error
+	Open(ctx context.Context) error
 	// Next returns the next row. ok is false at end of stream.
 	Next() (row data.Row, ok bool, err error)
 	Close() error
 }
 
-// Build compiles a physical plan into an iterator tree over db.
-func Build(p *plan.Node, db *storage.DB, q *algebra.Query) (Iterator, error) {
-	it, _, err := build(p, db, q)
+// Build compiles a physical plan into an iterator tree over db. Every
+// iterator in the tree shares gov, which charges each intermediate row
+// against the caller's budgets and audits Open/Close transitions.
+func Build(p *plan.Node, db *storage.DB, q *algebra.Query, gov *Governor) (Iterator, error) {
+	if gov == nil {
+		gov = NewGovernor(context.Background(), Options{})
+	}
+	it, _, err := build(p, db, q, gov)
 	return it, err
 }
 
-func build(n *plan.Node, db *storage.DB, q *algebra.Query) (Iterator, schema, error) {
+func build(n *plan.Node, db *storage.DB, q *algebra.Query, gov *Governor) (Iterator, schema, error) {
+	e := n.Expr
+	it, sch, err := buildOp(n, db, q, gov)
+	if err != nil {
+		return nil, nil, err
+	}
+	if b, ok := it.(binder); ok {
+		b.bind(gov, e)
+	} else {
+		return nil, nil, fmt.Errorf("exec: iterator for %s does not embed opNode", e.Name())
+	}
+	return it, sch, nil
+}
+
+func buildOp(n *plan.Node, db *storage.DB, q *algebra.Query, gov *Governor) (Iterator, schema, error) {
 	e := n.Expr
 	switch e.Op {
 	case memo.TableScan, memo.IndexScan:
 		return buildScan(e, db)
 
 	case memo.HashJoin, memo.MergeJoin, memo.NestedLoopJoin:
-		left, ls, err := build(n.Children[0], db, q)
+		left, ls, err := build(n.Children[0], db, q, gov)
 		if err != nil {
 			return nil, nil, err
 		}
-		right, rs, err := build(n.Children[1], db, q)
+		right, rs, err := build(n.Children[1], db, q, gov)
 		if err != nil {
 			return nil, nil, err
 		}
 		return buildJoin(e, left, ls, right, rs)
 
 	case memo.IndexNLJoin:
-		outer, os, err := build(n.Children[0], db, q)
+		outer, os, err := build(n.Children[0], db, q, gov)
 		if err != nil {
 			return nil, nil, err
 		}
 		return buildLookupJoin(e, db, outer, os)
 
 	case memo.HashAgg, memo.StreamAgg:
-		child, cs, err := build(n.Children[0], db, q)
+		child, cs, err := build(n.Children[0], db, q, gov)
 		if err != nil {
 			return nil, nil, err
 		}
 		return buildAgg(e, q, child, cs)
 
 	case memo.Sort:
-		child, cs, err := build(n.Children[0], db, q)
+		child, cs, err := build(n.Children[0], db, q, gov)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -68,7 +94,7 @@ func build(n *plan.Node, db *storage.DB, q *algebra.Query) (Iterator, schema, er
 		return it, cs, err
 
 	case memo.Result:
-		child, cs, err := build(n.Children[0], db, q)
+		child, cs, err := build(n.Children[0], db, q, gov)
 		if err != nil {
 			return nil, nil, err
 		}

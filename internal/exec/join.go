@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/data"
@@ -65,17 +66,21 @@ func buildJoin(e *memo.Expr, left Iterator, ls schema, right Iterator, rs schema
 
 // nlJoinIter re-executes its inner (right) child once per outer row.
 type nlJoinIter struct {
+	opNode
 	left, right Iterator
 	pred        joinPred
 
-	leftRow   data.Row
-	rightOpen bool
+	ctx     context.Context
+	leftRow data.Row
 }
 
-func (j *nlJoinIter) Open() error {
+func (j *nlJoinIter) Open(ctx context.Context) error {
+	j.ctx = ctx
 	j.leftRow = nil
-	j.rightOpen = false
-	return j.left.Open()
+	if err := j.enter(); err != nil {
+		return err
+	}
+	return j.left.Open(ctx)
 }
 
 func (j *nlJoinIter) Next() (data.Row, bool, error) {
@@ -86,10 +91,9 @@ func (j *nlJoinIter) Next() (data.Row, bool, error) {
 				return nil, false, err
 			}
 			j.leftRow = lr
-			if err := j.right.Open(); err != nil {
+			if err := j.right.Open(j.ctx); err != nil {
 				return nil, false, err
 			}
-			j.rightOpen = true
 		}
 		rr, ok, err := j.right.Next()
 		if err != nil {
@@ -106,21 +110,22 @@ func (j *nlJoinIter) Next() (data.Row, bool, error) {
 				return nil, false, err
 			}
 			if !keep {
+				// The candidate pair was already charged through the
+				// inner child's emission; no extra work tick here.
 				continue
 			}
+		}
+		if err := j.emit(); err != nil {
+			return nil, false, err
 		}
 		return row, true, nil
 	}
 }
 
 func (j *nlJoinIter) Close() error {
-	if j.rightOpen {
-		if err := j.right.Close(); err != nil {
-			return err
-		}
-		j.rightOpen = false
-	}
-	return j.left.Close()
+	err := closeAll(j.left, j.right)
+	j.leave()
+	return err
 }
 
 // hashJoinIter builds a hash table on the left child (as the cost model
@@ -128,6 +133,7 @@ func (j *nlJoinIter) Close() error {
 // re-Opens: a sub-plan produces identical rows within one execution, so a
 // nested-loop parent re-opening this join only restarts the probe side.
 type hashJoinIter struct {
+	opNode
 	left, right Iterator
 	lPos, rPos  []int
 	pred        joinPred
@@ -140,10 +146,13 @@ type hashJoinIter struct {
 	bucketIx int
 }
 
-func (j *hashJoinIter) Open() error {
+func (j *hashJoinIter) Open(ctx context.Context) error {
 	j.probeRow, j.bucket, j.bucketIx = nil, nil, 0
+	if err := j.enter(); err != nil {
+		return err
+	}
 	if !j.built {
-		if err := j.left.Open(); err != nil {
+		if err := j.left.Open(ctx); err != nil {
 			return err
 		}
 		j.buckets = make(map[string][]data.Row)
@@ -172,7 +181,7 @@ func (j *hashJoinIter) Open() error {
 		}
 		j.built = true
 	}
-	return j.right.Open()
+	return j.right.Open(ctx)
 }
 
 func (j *hashJoinIter) Next() (data.Row, bool, error) {
@@ -188,8 +197,16 @@ func (j *hashJoinIter) Next() (data.Row, bool, error) {
 					return nil, false, err
 				}
 				if !keep {
+					// Bucket candidates come from the materialized build
+					// side, so rejected pairs charge the work budget here.
+					if err := j.examine(); err != nil {
+						return nil, false, err
+					}
 					continue
 				}
+			}
+			if err := j.emit(); err != nil {
+				return nil, false, err
 			}
 			return row, true, nil
 		}
@@ -211,12 +228,20 @@ func (j *hashJoinIter) Next() (data.Row, bool, error) {
 	}
 }
 
-func (j *hashJoinIter) Close() error { return j.right.Close() }
+func (j *hashJoinIter) Close() error {
+	// The left child is normally closed at the end of the build phase,
+	// but an error mid-build leaves it open — Close cascades to both
+	// sides unconditionally (children track their own open state).
+	err := closeAll(j.left, j.right)
+	j.leave()
+	return err
+}
 
 // mergeJoinIter merges two inputs sorted on the join keys (guaranteed by
 // the operator's required orderings). The right input is materialized so
 // duplicate-key blocks can be re-scanned per matching left row.
 type mergeJoinIter struct {
+	opNode
 	left, right Iterator
 	lPos, rPos  []int
 	pred        joinPred
@@ -230,9 +255,12 @@ type mergeJoinIter struct {
 	blockPos int
 }
 
-func (j *mergeJoinIter) Open() error {
+func (j *mergeJoinIter) Open(ctx context.Context) error {
+	if err := j.enter(); err != nil {
+		return err
+	}
 	if !j.loaded {
-		if err := j.right.Open(); err != nil {
+		if err := j.right.Open(ctx); err != nil {
 			return err
 		}
 		for {
@@ -252,7 +280,7 @@ func (j *mergeJoinIter) Open() error {
 	}
 	j.curLeft = nil
 	j.bstart, j.blockEnd, j.blockPos = 0, 0, 0
-	return j.left.Open()
+	return j.left.Open(ctx)
 }
 
 func (j *mergeJoinIter) rightKeyCmp(idx int, lkey []data.Value) (int, error) {
@@ -329,8 +357,16 @@ func (j *mergeJoinIter) Next() (data.Row, bool, error) {
 					return nil, false, err
 				}
 				if !keep {
+					// Re-scanned block candidates are materialized rows;
+					// rejected pairs charge the work budget here.
+					if err := j.examine(); err != nil {
+						return nil, false, err
+					}
 					continue
 				}
+			}
+			if err := j.emit(); err != nil {
+				return nil, false, err
 			}
 			return row, true, nil
 		}
@@ -348,4 +384,10 @@ func (j *mergeJoinIter) rightHasNullKey(idx int) bool {
 	return false
 }
 
-func (j *mergeJoinIter) Close() error { return j.left.Close() }
+func (j *mergeJoinIter) Close() error {
+	// The right child is normally closed after materialization, but an
+	// error mid-load leaves it open — cascade to both sides.
+	err := closeAll(j.left, j.right)
+	j.leave()
+	return err
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -14,6 +15,7 @@ import (
 // whose leading key columns equal the outer key values, then applies the
 // inner relation's pushed-down filters and the join predicates.
 type lookupJoinIter struct {
+	opNode
 	outer Iterator
 
 	table    *storage.Table
@@ -87,10 +89,13 @@ func buildLookupJoin(e *memo.Expr, db *storage.DB, outer Iterator, os schema) (I
 	return it, out, nil
 }
 
-func (j *lookupJoinIter) Open() error {
+func (j *lookupJoinIter) Open(ctx context.Context) error {
 	j.outerRow = nil
 	j.lo, j.hi = 0, 0
-	return j.outer.Open()
+	if err := j.enter(); err != nil {
+		return err
+	}
+	return j.outer.Open(ctx)
 }
 
 // seek positions [lo, hi) on the rows whose index prefix equals keys.
@@ -154,6 +159,11 @@ func (j *lookupJoinIter) Next() (data.Row, bool, error) {
 					return nil, false, err
 				}
 				if !keep {
+					// Index-range candidates read straight from storage;
+					// filtered ones charge the work budget here.
+					if err := j.examine(); err != nil {
+						return nil, false, err
+					}
 					continue
 				}
 			}
@@ -164,8 +174,14 @@ func (j *lookupJoinIter) Next() (data.Row, bool, error) {
 					return nil, false, err
 				}
 				if !keep {
+					if err := j.examine(); err != nil {
+						return nil, false, err
+					}
 					continue
 				}
+			}
+			if err := j.emit(); err != nil {
+				return nil, false, err
 			}
 			return row, true, nil
 		}
@@ -173,4 +189,8 @@ func (j *lookupJoinIter) Next() (data.Row, bool, error) {
 	}
 }
 
-func (j *lookupJoinIter) Close() error { return j.outer.Close() }
+func (j *lookupJoinIter) Close() error {
+	err := j.outer.Close()
+	j.leave()
+	return err
+}

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"repro/internal/algebra"
 	"repro/internal/data"
 	"repro/internal/memo"
@@ -11,6 +13,7 @@ import (
 // columns (ORDER BY revenue over SUM(...)), so the iterator sorts rows
 // extended with the projected values and then trims to the projections.
 type resultIter struct {
+	opNode
 	child   Iterator
 	projFns []evalFunc
 	nProj   int
@@ -74,12 +77,15 @@ func (r *resultIter) project(row data.Row) (data.Row, error) {
 	return out, nil
 }
 
-func (r *resultIter) Open() error {
+func (r *resultIter) Open(ctx context.Context) error {
 	r.pos = 0
+	if err := r.enter(); err != nil {
+		return err
+	}
 	if r.selfSort && r.loaded {
 		return nil
 	}
-	if err := r.child.Open(); err != nil {
+	if err := r.child.Open(ctx); err != nil {
 		return err
 	}
 	if !r.selfSort {
@@ -116,6 +122,9 @@ func (r *resultIter) Next() (data.Row, bool, error) {
 		}
 		ext := r.rows[r.pos]
 		r.pos++
+		if err := r.emit(); err != nil {
+			return nil, false, err
+		}
 		return ext[len(ext)-r.nProj:], true, nil
 	}
 	row, ok, err := r.child.Next()
@@ -126,12 +135,16 @@ func (r *resultIter) Next() (data.Row, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	if err := r.emit(); err != nil {
+		return nil, false, err
+	}
 	return proj, true, nil
 }
 
 func (r *resultIter) Close() error {
-	if r.selfSort {
-		return nil
-	}
-	return r.child.Close()
+	// The child is normally closed after the self-sort load, but an
+	// error mid-load leaves it open — cascade unconditionally.
+	err := r.child.Close()
+	r.leave()
+	return err
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/data"
@@ -11,6 +12,7 @@ import (
 // scanIter reads a stored table, in heap order for TableScan or in index
 // key order for IndexScan, applying the relation's pushed-down filters.
 type scanIter struct {
+	opNode
 	table  *storage.Table
 	perm   []int32 // nil for heap order
 	filter func(data.Row) (bool, error)
@@ -48,9 +50,9 @@ func buildScan(e *memo.Expr, db *storage.DB) (Iterator, schema, error) {
 	return it, out, nil
 }
 
-func (s *scanIter) Open() error {
+func (s *scanIter) Open(ctx context.Context) error {
 	s.pos = 0
-	return nil
+	return s.enter()
 }
 
 func (s *scanIter) Next() (data.Row, bool, error) {
@@ -69,12 +71,24 @@ func (s *scanIter) Next() (data.Row, bool, error) {
 				return nil, false, err
 			}
 			if !keep {
+				// Filtered rows still charge the work budget: a scan
+				// grinding through a huge table emitting nothing must
+				// remain governable.
+				if err := s.examine(); err != nil {
+					return nil, false, err
+				}
 				continue
 			}
+		}
+		if err := s.emit(); err != nil {
+			return nil, false, err
 		}
 		return row, true, nil
 	}
 	return nil, false, nil
 }
 
-func (s *scanIter) Close() error { return nil }
+func (s *scanIter) Close() error {
+	s.leave()
+	return nil
+}

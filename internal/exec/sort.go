@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -13,6 +14,7 @@ import (
 // input is deterministic within one execution), so a nested-loop parent
 // pays the sort once.
 type sortIter struct {
+	opNode
 	child  Iterator
 	keyPos []int
 	desc   []bool
@@ -36,12 +38,15 @@ func newSortIter(child Iterator, in schema, order algebra.Ordering) (Iterator, e
 	return &sortIter{child: child, keyPos: keyPos, desc: desc}, nil
 }
 
-func (s *sortIter) Open() error {
+func (s *sortIter) Open(ctx context.Context) error {
+	if err := s.enter(); err != nil {
+		return err
+	}
 	if s.loaded {
 		s.pos = 0
 		return nil
 	}
-	if err := s.child.Open(); err != nil {
+	if err := s.child.Open(ctx); err != nil {
 		return err
 	}
 	for {
@@ -71,10 +76,19 @@ func (s *sortIter) Next() (data.Row, bool, error) {
 	}
 	row := s.rows[s.pos]
 	s.pos++
+	if err := s.emit(); err != nil {
+		return nil, false, err
+	}
 	return row, true, nil
 }
 
-func (s *sortIter) Close() error { return nil }
+func (s *sortIter) Close() error {
+	// The child is normally closed after materialization, but an error
+	// mid-load leaves it open — cascade unconditionally.
+	err := s.child.Close()
+	s.leave()
+	return err
+}
 
 // sortRows stably sorts rows by the given key positions and directions.
 // NULLs sort first on ascending keys (matching data.Compare), last on

@@ -10,12 +10,21 @@
 //
 // Endpoints (all request/response bodies are JSON):
 //
-//	POST /prepare  — parse, optimize, count; returns fingerprint + space parameters
-//	POST /count    — plan count only
-//	POST /unrank   — batch of plan numbers → plan trees with scaled costs
-//	POST /sample   — k uniform plans; rides the uint64 batched fast path
-//	POST /explain  — EXPLAIN tree of the optimal plan or a numbered plan
-//	GET  /stats    — cache hit/miss/eviction counters, uptime, request counts
+//	POST /prepare       — parse, optimize, count; returns fingerprint + space parameters
+//	POST /count         — plan count only
+//	POST /unrank        — batch of plan numbers → plan trees with scaled costs
+//	POST /sample        — k uniform plans; rides the uint64 batched fast path
+//	POST /explain       — EXPLAIN tree of the optimal plan or a numbered plan
+//	POST /execute       — run one plan (by rank / USEPLAN / optimal) under Governor limits
+//	POST /execute_batch — sample k plans and execute each under a per-plan budget
+//	GET  /stats         — cache hit/miss/eviction/bytes counters, uptime, request counts
+//
+// Execution endpoints are resource-governed: a server-side Governor
+// enforces wall-clock, output-row, and intermediate-row budgets on
+// every plan (clients may tighten or loosen within server ceilings —
+// see ExecLimits), so a pathological sampled plan terminates with a
+// structured truncated/deadline_exceeded response instead of hanging
+// the service.
 //
 // Plan numbers cross the wire as decimal strings: spaces beyond 2^53
 // (Table 1 tops out at 4.4·10^12, Cartesian variants at 2.7·10^22)
@@ -62,10 +71,11 @@ func WithQueryResolver(resolve func(name string) (string, bool)) Option {
 // and shared, and per-request state (samplers, arenas, cost stacks)
 // stays request-local.
 type Server struct {
-	engine  *engine.Engine
-	resolve func(string) (string, bool)
-	mux     *http.ServeMux
-	start   time.Time
+	engine     *engine.Engine
+	resolve    func(string) (string, bool)
+	execLimits ExecLimits
+	mux        *http.ServeMux
+	start      time.Time
 
 	reqs     [endpointCount]atomic.Uint64
 	errCount atomic.Uint64
@@ -80,15 +90,17 @@ const (
 	epUnrank
 	epSample
 	epExplain
+	epExecute
+	epExecuteBatch
 	epStats
 	endpointCount
 )
 
-var endpointNames = [endpointCount]string{"prepare", "count", "unrank", "sample", "explain", "stats"}
+var endpointNames = [endpointCount]string{"prepare", "count", "unrank", "sample", "explain", "execute", "execute_batch", "stats"}
 
 // New returns a server over e.
 func New(e *engine.Engine, opts ...Option) *Server {
-	s := &Server{engine: e, start: time.Now(), mux: http.NewServeMux()}
+	s := &Server{engine: e, start: time.Now(), mux: http.NewServeMux(), execLimits: DefaultExecLimits()}
 	for _, o := range opts {
 		o(s)
 	}
@@ -97,6 +109,8 @@ func New(e *engine.Engine, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /unrank", s.handleUnrank)
 	s.mux.HandleFunc("POST /sample", s.handleSample)
 	s.mux.HandleFunc("POST /explain", s.handleExplain)
+	s.mux.HandleFunc("POST /execute", s.handleExecute)
+	s.mux.HandleFunc("POST /execute_batch", s.handleExecuteBatch)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
 }
@@ -139,28 +153,38 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// prepare resolves and prepares the request's query through the session
-// pipeline — the single Prepare path all endpoints share.
-func (s *Server) prepare(w http.ResponseWriter, q QueryRequest) (*engine.Prepared, bool) {
+// resolveSQL maps a request to executable SQL text: the sql field
+// verbatim, or the named query through the resolver.
+func (s *Server) resolveSQL(w http.ResponseWriter, q QueryRequest) (string, bool) {
 	sqlText := q.SQL
 	switch {
 	case sqlText != "" && q.Query != "":
 		s.writeErr(w, http.StatusBadRequest, "provide sql or query, not both")
-		return nil, false
+		return "", false
 	case sqlText == "" && q.Query == "":
 		s.writeErr(w, http.StatusBadRequest, "provide sql text or a query name")
-		return nil, false
+		return "", false
 	case q.Query != "":
 		if s.resolve == nil {
 			s.writeErr(w, http.StatusBadRequest, "named queries are not configured; send sql text")
-			return nil, false
+			return "", false
 		}
 		t, ok := s.resolve(q.Query)
 		if !ok {
 			s.writeErr(w, http.StatusNotFound, "unknown query %q", q.Query)
-			return nil, false
+			return "", false
 		}
 		sqlText = t
+	}
+	return sqlText, true
+}
+
+// prepare resolves and prepares the request's query through the session
+// pipeline — the single Prepare path all endpoints share.
+func (s *Server) prepare(w http.ResponseWriter, q QueryRequest) (*engine.Prepared, bool) {
+	sqlText, ok := s.resolveSQL(w, q)
+	if !ok {
+		return nil, false
 	}
 	p, err := s.engine.Session(engine.WithCartesian(q.Cross)).Prepare(sqlText)
 	if err != nil {

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Smoke test of cmd/planserved: build and start the server, then drive
+# the real client loop — prepare → sample → execute_batch → a governed
+# pathological /execute — failing on any non-200 response or any
+# truncated result that carries no reason. CI runs this on every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:18080
+BIN=$(mktemp -d)/planserved
+
+go build -o "$BIN" ./cmd/planserved
+"$BIN" -addr "$ADDR" -sf 0.0004 &
+PID=$!
+trap 'kill $PID 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+  curl -sf "http://$ADDR/stats" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -sf "http://$ADDR/stats" >/dev/null || { echo "FAIL: server did not come up"; exit 1; }
+
+# post PATH BODY — POST and require HTTP 200, echo the body.
+post() {
+  local out code
+  out=$(curl -s -w $'\n%{http_code}' "http://$ADDR$1" -d "$2")
+  code=${out##*$'\n'}
+  if [ "$code" != 200 ]; then
+    echo "FAIL: POST $1 -> HTTP $code: ${out%$'\n'*}" >&2
+    exit 1
+  fi
+  printf '%s' "${out%$'\n'*}"
+}
+
+prep=$(post /prepare '{"query":"Q5"}')
+echo "$prep" | grep -q '"fingerprint"' || { echo "FAIL: prepare missing fingerprint: $prep"; exit 1; }
+echo "smoke: prepare ok"
+
+samp=$(post /sample '{"query":"Q5","k":4,"seed":1}')
+echo "$samp" | grep -q '"ranks"' || { echo "FAIL: sample missing ranks: $samp"; exit 1; }
+echo "smoke: sample ok"
+
+batch=$(post /execute_batch '{"query":"Q3","k":3,"seed":7,"timeout_ms":10000}')
+python3 - "$batch" <<'PY'
+import json, sys
+resp = json.loads(sys.argv[1])
+assert resp["optimal"]["digest"], "optimal reference has no digest"
+assert not resp["optimal"]["truncated"], f"optimal reference truncated: {resp['optimal']}"
+assert len(resp["plans"]) == 3, f"expected 3 plans, got {len(resp['plans'])}"
+for p in resp["plans"]:
+    if p.get("error"):
+        raise SystemExit(f"FAIL: sampled plan errored: {p}")
+    if p.get("truncated") and not p.get("truncated_reason"):
+        raise SystemExit(f"FAIL: truncated without reason: {p}")
+    if not p.get("truncated") and not p.get("matches_optimal"):
+        raise SystemExit(f"FAIL: completed plan differs from optimal: {p}")
+print("smoke: execute_batch ok,", len(resp["plans"]), "plans verified")
+PY
+
+killed=$(post /execute '{"sql":"SELECT COUNT(l_orderkey) AS n FROM lineitem, orders, customer","cross":true,"max_intermediate_rows":50000}')
+python3 - "$killed" <<'PY'
+import json, sys
+r = json.loads(sys.argv[1])
+assert r["truncated"], f"pathological cross-product plan was not truncated: {r}"
+assert r["truncated_reason"], f"truncated without a reason: {r}"
+print("smoke: governor kill ok:", r["truncated_reason"])
+PY
+
+stats=$(curl -sf "http://$ADDR/stats")
+echo "$stats" | grep -q '"bytes_cached"' || { echo "FAIL: stats missing bytes_cached: $stats"; exit 1; }
+echo "smoke: stats ok"
+
+echo "planserved smoke OK"
