@@ -154,6 +154,17 @@ func BenchmarkSampling(b *testing.B) {
 	}
 }
 
+// limbsToBigInt converts a little-endian limb rank to a big.Int for the
+// oracle rows.
+func limbsToBigInt(x []uint64) *big.Int {
+	out := new(big.Int)
+	for i := len(x) - 1; i >= 0; i-- {
+		out.Lsh(out, 64)
+		out.Or(out, new(big.Int).SetUint64(x[i]))
+	}
+	return out
+}
+
 // dualSpaces prepares one TPC-H query twice over the same memo: the
 // uint64 fast path and the big.Int path forced via the test hook, so
 // the dual-path benchmarks compare identical spaces.
@@ -211,26 +222,48 @@ func BenchmarkUnrank(b *testing.B) {
 		})
 	}
 
-	// Q8 with Cartesian products (~2.7·10^22 plans) overflows uint64, so
-	// its big.Int path is not a forced test hook but the real fallback —
-	// the row that prices what leaving the fast path costs in production.
-	b.Run("Q8cross/big", func(b *testing.B) {
-		p := prepare(b, "Q8", true)
-		if p.FitsUint64() {
-			b.Fatalf("Q8+cross space %s fits uint64; fixture invalid", p.Count())
+	// Q8 with Cartesian products (~2.7·10^22 plans, 75-bit ranks)
+	// overflows uint64: the wide limb tier is its production path, and
+	// the math/big row — now a forced oracle, exactly like the per-query
+	// /big rows above — prices what the wide tier saves.
+	p8 := prepare(b, "Q8", true)
+	if p8.FitsUint64() {
+		b.Fatalf("Q8+cross space %s fits uint64; fixture invalid", p8.Count())
+	}
+	if !p8.Space.Wide() {
+		b.Fatalf("Q8+cross tier = %s; want wide", p8.Space.Arithmetic())
+	}
+	smp8, err := p8.Sampler(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wideRanks := make([][]uint64, 1024)
+	bigRanks8 := make([]*big.Int, len(wideRanks))
+	buf := make([]uint64, p8.Space.RankLimbs())
+	for i := range wideRanks {
+		r := smp8.NextRankInto(buf)
+		wideRanks[i] = append([]uint64(nil), r...)
+		bigRanks8[i] = limbsToBigInt(r)
+	}
+	b.Run("Q8cross/wide", func(b *testing.B) {
+		var arena core.Arena
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p8.Space.UnrankWideInto(wideRanks[i%len(wideRanks)], &arena); err != nil {
+				b.Fatal(err)
+			}
 		}
-		smp, err := p.Sampler(1)
+	})
+	b.Run("Q8cross/big", func(b *testing.B) {
+		forced, err := core.Prepare(p8.Opt.Memo, core.WithBigArithmetic())
 		if err != nil {
 			b.Fatal(err)
-		}
-		ranks := make([]*big.Int, 1024)
-		for i := range ranks {
-			ranks[i] = smp.NextRank()
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := p.Unrank(ranks[i%len(ranks)]); err != nil {
+			if _, err := forced.Unrank(bigRanks8[i%len(bigRanks8)]); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -273,13 +306,35 @@ func BenchmarkSample(b *testing.B) {
 		})
 	}
 
-	// The genuine big.Int fallback: see BenchmarkUnrank/Q8cross.
-	b.Run("Q8cross/big", func(b *testing.B) {
+	// The beyond-uint64 space: wide limb sampling (the production tier)
+	// vs the forced math/big oracle. Both draw bit-identical rank
+	// streams for the same seed.
+	b.Run("Q8cross/wide", func(b *testing.B) {
 		p := prepare(b, "Q8", true)
-		if p.FitsUint64() {
-			b.Fatalf("Q8+cross space %s fits uint64; fixture invalid", p.Count())
+		if !p.Space.Wide() {
+			b.Fatalf("Q8+cross tier = %s; want wide", p.Space.Arithmetic())
 		}
 		smp, err := p.Sampler(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]uint64, p.Space.RankLimbs())
+		var arena core.Arena
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Space.UnrankWideInto(smp.NextRankInto(buf), &arena); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Q8cross/big", func(b *testing.B) {
+		p := prepare(b, "Q8", true)
+		forced, err := core.Prepare(p.Opt.Memo, core.WithBigArithmetic())
+		if err != nil {
+			b.Fatal(err)
+		}
+		smp, err := forced.NewSampler(2)
 		if err != nil {
 			b.Fatal(err)
 		}

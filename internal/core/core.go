@@ -19,15 +19,19 @@
 // sub-rank per child slot in the mixed-radix system with digit bases
 // b_v(i) (Section 3.3).
 //
-// Arithmetic is dual-path. Counting runs bottom-up twice in one pass:
-// in math/big (the reference, always available — spaces grow beyond
-// int64 for larger queries) and in overflow-checked uint64. When the
-// total N and every reachable base fit in 64 bits — true for all of
-// Table 1, which tops out at 4.4·10^12 — rank selection, mixed-radix
-// decomposition, ranking, and the sampler's rejection loop run on
-// native uint64 with no big.Int allocations (see fast.go); otherwise
-// everything falls back to the big.Int path. WithBigArithmetic forces
-// the fallback so tests can exercise both paths on the same memo.
+// Arithmetic is tiered. Counting runs bottom-up in overflow-checked
+// uint64; when the total N and every reachable base fit in 64 bits —
+// true for all of Table 1, which tops out at 4.4·10^12 — rank
+// selection, mixed-radix decomposition, ranking, and the sampler's
+// rejection loop run on native uint64 with no heap allocations (see
+// fast.go). Spaces beyond 2^64 (Q8 with Cartesian products holds
+// ~2.7·10^22 plans) route to the wide tier: fixed-allocation
+// little-endian []uint64 limb arithmetic (wide.go, widepath.go) whose
+// unrank/sample loops are likewise allocation-free after warm-up, and
+// which hands any subtree whose count fits uint64 straight back to the
+// native path. math/big survives only behind WithBigArithmetic — the
+// always-correct oracle the differential tests compare both production
+// tiers against.
 package core
 
 import (
@@ -41,12 +45,33 @@ import (
 
 var bigOne = big.NewInt(1)
 
+// arithTier names the arithmetic engine serving a space.
+type arithTier uint8
+
+const (
+	tierUint64 arithTier = iota // native uint64, allocation-free
+	tierWide                    // []uint64 limb arithmetic, allocation-free after warm-up
+	tierBig                     // math/big oracle (WithBigArithmetic only)
+)
+
+func (t arithTier) String() string {
+	switch t {
+	case tierUint64:
+		return "uint64"
+	case tierWide:
+		return "wide"
+	default:
+		return "big"
+	}
+}
+
 // Option configures Prepare.
 type Option func(*config)
 
 type config struct {
-	keep     func(*memo.Expr) bool
-	forceBig bool
+	keep      func(*memo.Expr) bool
+	forceBig  bool
+	forceWide bool
 }
 
 // WithFilter restricts the space to operators for which keep returns
@@ -56,35 +81,79 @@ func WithFilter(keep func(*memo.Expr) bool) Option {
 	return func(c *config) { c.keep = keep }
 }
 
-// WithBigArithmetic disables the uint64 fast path even when the space
+// WithBigArithmetic disables both production tiers even when the space
 // fits, forcing every Unrank/Rank/sampler call through math/big. It is
-// the test hook behind the differential and property tests that run
-// both arithmetic paths over the same memo and require bit-identical
-// results.
+// the test hook behind the differential and property tests: the big
+// path is the reference oracle both the uint64 and the wide engines
+// must agree with bit for bit.
 func WithBigArithmetic() Option {
 	return func(c *config) { c.forceBig = true }
 }
 
+// WithWideArithmetic forces the wide limb tier even when the space fits
+// uint64, so tests can exercise the wide decomposer, sampler, and
+// selection machinery on spaces small enough to enumerate exhaustively.
+func WithWideArithmetic() Option {
+	return func(c *config) { c.forceWide = true }
+}
+
 // exprInfo is the materialized link structure of one operator: the
 // candidate lists per child slot, the per-slot alternative counts b_v(i)
-// with their prefix sums (for rank/unrank selection), and N(v).
+// with their prefix sums (for rank/unrank selection), and N(v), in the
+// representation of whichever tier serves the node.
 type exprInfo struct {
-	expr   *memo.Expr
-	cands  [][]*memo.Expr
+	expr  *memo.Expr
+	cands [][]*memo.Expr
+
+	// big.Int tables — built only under WithBigArithmetic (the oracle).
+	n      *big.Int     // N(expr)
 	b      []*big.Int   // b[i] = Σ N over cands[i]
 	prefix [][]*big.Int // prefix[i][j] = Σ_{k<j} N(cands[i][k])
-	n      *big.Int     // N(expr)
 
-	// uint64 mirrors of n, b, and prefix, computed by the same
-	// bottom-up pass with overflow-checked arithmetic. Valid only when
-	// fits is true; a node whose own count, any base, or any child
-	// overflowed 64 bits has fits false and is served by the big.Int
-	// path. (If N(v) > 0 fits, every b_v(i) and prefix fits too, since
-	// each divides or bounds N(v).)
+	// uint64 tables, computed by the overflow-checked bottom-up pass.
+	// fits means the node's own count and its entire subtree fit in 64
+	// bits (every base and prefix sum divides or bounds N(v), so they
+	// fit too). Per-slot b64/prefix64 entries stay valid on non-fitting
+	// nodes for every slot whose own sums fit — the wide decomposer's
+	// single-limb fast lane.
 	fits     bool
 	n64      uint64
 	b64      []uint64
+	div64    []magicDiv // precomputed reciprocals of b64 (valid where b64[i] > 0)
 	prefix64 [][]uint64
+
+	// wide tables — present on nodes whose subtree overflows uint64
+	// (and on every node under WithWideArithmetic). Per slot i,
+	// bW[i] == nil means the slot fits uint64 and is served by
+	// b64[i]/prefix64[i]; otherwise bW[i]/prefixW[i] hold canonical
+	// little-endian limbs carved from the space's WideArena.
+	nW      []uint64
+	bW      [][]uint64
+	prefixW [][][]uint64
+}
+
+// isZero reports N(v) == 0 in whichever representation the node carries.
+func (info *exprInfo) isZero() bool {
+	if info.n != nil {
+		return info.n.Sign() == 0
+	}
+	if info.fits {
+		return info.n64 == 0
+	}
+	return len(info.nW) == 0
+}
+
+// wideCount returns N(v) as canonical limbs (valid on the uint64 and
+// wide tiers). The returned slice must not be mutated.
+func (info *exprInfo) wideCount(scratch *[1]uint64) []uint64 {
+	if !info.fits {
+		return info.nW
+	}
+	if info.n64 == 0 {
+		return nil
+	}
+	scratch[0] = info.n64
+	return scratch[:1]
 }
 
 // Space is a frozen, counted search space. It is immutable after Prepare
@@ -94,16 +163,27 @@ type Space struct {
 	Memo *memo.Memo
 
 	info    []*exprInfo // indexed by memo.Expr.ID
+	slab    []exprInfo  // backing store: one contiguous block, no per-node allocation
+	cands   candArena   // backing store for every candidate list
 	rootOps []*memo.Expr
-	prefix  []*big.Int // prefix sums of N over rootOps
-	total   *big.Int
+
+	tier  arithTier
+	total *big.Int // N, synthesized on every tier for the API surface
+
+	// big tier (WithBigArithmetic only).
+	prefix []*big.Int // prefix sums of N over rootOps
 
 	// uint64 fast path: valid only when fits is true, i.e. the total
 	// count (and therefore every reachable base and prefix sum) fits in
-	// uint64 and WithBigArithmetic was not given.
+	// uint64 and no forcing option was given.
 	fits     bool
 	total64  uint64
 	prefix64 []uint64
+
+	// wide tier: canonical limb slices carved from tab.
+	totalW  []uint64
+	prefixW [][]uint64
+	tab     WideArena // backing store for every wide count table
 }
 
 // Prepare materializes links and counts the space. It is the
@@ -118,14 +198,24 @@ func Prepare(m *memo.Memo, opts ...Option) (*Space, error) {
 		return nil, fmt.Errorf("core: memo has no root group")
 	}
 	maxID := 0
+	kept := 0
 	for _, g := range m.Groups {
 		for _, e := range g.Exprs {
 			if e.ID > maxID {
 				maxID = e.ID
 			}
 		}
+		for _, e := range g.Physical {
+			if cfg.keep(e) {
+				kept++
+			}
+		}
 	}
-	s := &Space{Memo: m, info: make([]*exprInfo, maxID+1)}
+	// One contiguous slab for every node's link structure: the unrank
+	// hot loop chases info pointers once per operator, and packing them
+	// (like the limb arena packs the count tables) is worth real
+	// latency on memos with tens of thousands of operators.
+	s := &Space{Memo: m, info: make([]*exprInfo, maxID+1), slab: make([]exprInfo, 0, kept)}
 
 	// Count every kept physical operator (bottom-up via memoized
 	// recursion; the structure is acyclic because enforcers take only
@@ -136,28 +226,55 @@ func Prepare(m *memo.Memo, opts ...Option) (*Space, error) {
 			if !cfg.keep(e) {
 				continue
 			}
-			if _, err := s.count(e, &cfg); err != nil {
+			var err error
+			if cfg.forceBig {
+				_, err = s.countBig(e, &cfg)
+			} else {
+				err = s.countFast(e, &cfg)
+			}
+			if err != nil {
 				return nil, err
 			}
 		}
 	}
 
-	s.total = new(big.Int)
-	s.prefix = []*big.Int{new(big.Int)} // prefix[0] = 0
-	fits := !cfg.forceBig
+	// Root layout: each root operator covers a contiguous rank range in
+	// declaration order; the prefix sums drive rank-to-operator
+	// selection on every tier.
+	if cfg.forceBig {
+		s.tier = tierBig
+		s.total = new(big.Int)
+		s.prefix = []*big.Int{new(big.Int)} // prefix[0] = 0
+		for _, e := range m.Root.Physical {
+			if !cfg.keep(e) {
+				continue
+			}
+			info := s.info[e.ID]
+			if info.isZero() {
+				continue // cannot form a complete plan; covers no ranks
+			}
+			s.rootOps = append(s.rootOps, e)
+			s.total = new(big.Int).Add(s.total, info.n)
+			s.prefix = append(s.prefix, new(big.Int).Set(s.total))
+		}
+		return s, nil
+	}
+
+	fits := !cfg.forceWide
 	var total64 uint64
 	prefix64 := []uint64{0}
+	var totalW []uint64
+	prefixW := [][]uint64{nil} // prefixW[0] = 0
+	var scratch [1]uint64
 	for _, e := range m.Root.Physical {
 		if !cfg.keep(e) {
 			continue
 		}
 		info := s.info[e.ID]
-		if info.n.Sign() == 0 {
-			continue // cannot form a complete plan; covers no ranks
+		if info.isZero() {
+			continue
 		}
 		s.rootOps = append(s.rootOps, e)
-		s.total = new(big.Int).Add(s.total, info.n)
-		s.prefix = append(s.prefix, new(big.Int).Set(s.total))
 		if fits && info.fits {
 			var carry uint64
 			total64, carry = bits.Add64(total64, info.n64, 0)
@@ -166,108 +283,241 @@ func Prepare(m *memo.Memo, opts ...Option) (*Space, error) {
 			fits = false
 		}
 		prefix64 = append(prefix64, total64)
+		totalW = wideAdd(totalW, info.wideCount(&scratch))
+		prefixW = append(prefixW, totalW)
 	}
 	if fits {
-		s.fits, s.total64, s.prefix64 = true, total64, prefix64
+		s.tier = tierUint64
+		s.fits = true
+		s.total64, s.prefix64 = total64, prefix64
+		s.total = new(big.Int).SetUint64(total64)
+		return s, nil
 	}
+	s.tier = tierWide
+	s.totalW = s.tab.put(totalW)
+	s.prefixW = make([][]uint64, len(prefixW))
+	for i, p := range prefixW {
+		s.prefixW[i] = s.tab.put(p)
+	}
+	s.total = limbsToBig(s.totalW)
 	return s, nil
 }
 
-func (s *Space) count(e *memo.Expr, cfg *config) (*big.Int, error) {
-	if info := s.info[e.ID]; info != nil {
-		return info.n, nil
-	}
-	info := &exprInfo{expr: e}
-	s.info[e.ID] = info // leaves have N=1 set below; set early is safe (acyclic)
+// candArena packs candidate lists into stable chunked backing arrays
+// (the same mechanism as WideArena — see chunked in arena.go), so the
+// unrank hot loop's cands[i][j] loads land in a handful of contiguous
+// blocks instead of one heap object per slot.
+type candArena struct {
+	a chunked[*memo.Expr]
+}
 
-	// Materialize candidate lists (Section 3.1). Enforcers draw from the
-	// non-enforcer operators of their own group with no ordering demand;
-	// everything else draws from each child group's operators filtered by
-	// the prefix-satisfaction test on delivered vs required orderings.
-	var slots [][]*memo.Expr
+func (a *candArena) put(xs []*memo.Expr) []*memo.Expr { return a.a.put(xs, 512) }
+
+func (a *candArena) memoryBytes() int64 { return int64(a.a.elems()) * 8 }
+
+// slots materializes the candidate lists of one operator (Section 3.1)
+// into the space's candidate arena. Enforcers draw from the
+// non-enforcer operators of their own group with no ordering demand;
+// everything else draws from each child group's operators filtered by
+// the prefix-satisfaction test on delivered vs required orderings.
+func (s *Space) slots(e *memo.Expr, cfg *config) [][]*memo.Expr {
+	var scratch [64]*memo.Expr
 	if e.IsEnforcer() {
-		var cands []*memo.Expr
+		cands := scratch[:0]
 		for _, c := range e.Group.NonEnforcers() {
 			if cfg.keep(c) {
 				cands = append(cands, c)
 			}
 		}
-		slots = [][]*memo.Expr{cands}
-	} else {
-		slots = make([][]*memo.Expr, len(e.Children))
-		for i, cg := range e.Children {
-			req := plan.RequiredOf(e, i)
-			var cands []*memo.Expr
-			for _, c := range cg.Physical {
-				if cfg.keep(c) && c.Delivered.Satisfies(req) {
-					cands = append(cands, c)
+		return [][]*memo.Expr{s.cands.put(cands)}
+	}
+	out := make([][]*memo.Expr, len(e.Children))
+	for i, cg := range e.Children {
+		req := plan.RequiredOf(e, i)
+		cands := scratch[:0]
+		for _, c := range cg.Physical {
+			if cfg.keep(c) && c.Delivered.Satisfies(req) {
+				cands = append(cands, c)
+			}
+		}
+		out[i] = s.cands.put(cands)
+	}
+	return out
+}
+
+// countFast is the production counting pass: N(v) = Π b_v(i) with
+// b_v(i) = Σ N(w), run in overflow-checked uint64 with a wide-limb
+// spill. A node (or a single slot) that overflows 64 bits switches to
+// exact []uint64 accumulation seeded from the checked prefix run, so
+// spaces of any size are counted exactly without math/big — and nodes
+// (or slots) that fit keep their native tables for the fast lanes.
+func (s *Space) countFast(e *memo.Expr, cfg *config) error {
+	if s.info[e.ID] != nil {
+		return nil
+	}
+	info := s.newInfo(e) // leaves have N=1 set below; set early is safe (acyclic)
+	info.cands = s.slots(e, cfg)
+
+	info.fits = true
+	info.n64 = 1
+	// The uint64 tables are carved from the space's limb arena: every
+	// base and prefix-sum row of the whole space lands in a handful of
+	// contiguous chunks, which is worth real latency on large memos
+	// whose tables would otherwise scatter across the heap.
+	info.b64 = s.tab.Alloc(len(info.cands))
+	info.prefix64 = make([][]uint64, len(info.cands))
+	var nW []uint64 // product accumulator once the node overflows
+	var scratch [1]uint64
+	for i, cands := range info.cands {
+		var b64 uint64
+		prefix64 := s.tab.Alloc(len(cands) + 1)[:1]
+		slotFits := true
+		var bW []uint64
+		var prefixW [][]uint64
+		for _, c := range cands {
+			if err := s.countFast(c, cfg); err != nil {
+				return err
+			}
+			ci := s.info[c.ID]
+			if slotFits && ci.fits {
+				sum, carry := bits.Add64(b64, ci.n64, 0)
+				if carry == 0 {
+					b64 = sum
+					prefix64 = append(prefix64, b64)
+					continue
 				}
 			}
-			slots[i] = cands
+			if slotFits {
+				// Spill: seed the exact wide accumulators from the
+				// checked uint64 prefix run, which is exact so far.
+				slotFits = false
+				prefixW = make([][]uint64, 0, len(cands)+1)
+				for _, p := range prefix64 {
+					prefixW = append(prefixW, wideFromU64(p))
+				}
+				bW = wideFromU64(b64)
+			}
+			bW = wideAdd(bW, ci.wideCount(&scratch))
+			prefixW = append(prefixW, bW)
+		}
+
+		var baseW []uint64
+		if slotFits {
+			info.b64[i] = b64
+			info.prefix64[i] = prefix64
+		} else {
+			frozen := make([][]uint64, len(prefixW))
+			for k, p := range prefixW {
+				frozen[k] = s.tab.put(p)
+			}
+			info.wideSlot(i, s.tab.put(bW), frozen)
+			baseW = bW
+		}
+
+		// N(v) accumulation: checked uint64 while it lasts, exact wide
+		// afterwards.
+		if info.fits && slotFits {
+			hi, lo := bits.Mul64(info.n64, b64)
+			if hi == 0 {
+				info.n64 = lo
+				continue
+			}
+		}
+		if info.fits {
+			info.fits = false
+			nW = wideFromU64(info.n64)
+			info.n64 = 0
+		}
+		if baseW == nil {
+			baseW = wideFromU64(b64)
+		}
+		nW = wideMul(nW, baseW)
+	}
+	if n := len(info.cands); n > 0 {
+		// Freeze the per-slot reciprocals: the decomposition divides by
+		// these bases on every unrank.
+		info.div64 = make([]magicDiv, n)
+		for i, b := range info.b64 {
+			if b > 0 {
+				info.div64[i] = newMagicDiv(b)
+			}
 		}
 	}
-	info.cands = slots
-
-	// N(v) = Π b_v(i) with b_v(i) = Σ N(w); leaves have N(v) = 1. The
-	// uint64 mirror runs the same recurrence with checked arithmetic:
-	// any carry or high product word poisons this node's fast path, and
-	// a poisoned (or force-big) node carries no mirror arrays at all —
-	// spaces beyond 2^64 should not pay double counting memory.
-	info.n = new(big.Int).Set(bigOne)
-	info.b = make([]*big.Int, len(slots))
-	info.prefix = make([][]*big.Int, len(slots))
-	info.fits = !cfg.forceBig
-	if info.fits {
-		info.n64 = 1
-		info.b64 = make([]uint64, len(slots))
-		info.prefix64 = make([][]uint64, len(slots))
+	if !info.fits {
+		info.nW = s.tab.put(nW)
+	} else if cfg.forceWide {
+		// The forced wide tier treats every node as wide so the wide
+		// decomposer runs end to end; the uint64 slot tables stay — they
+		// are the wide engine's own single-limb fast lane.
+		info.nW = s.tab.put(wideFromU64(info.n64))
+		info.fits = false
+		info.n64 = 0
 	}
-	for i, cands := range slots {
+	return nil
+}
+
+// newInfo hands out the next slab slot for an operator. The slab was
+// sized to the kept-operator count, so append never reallocates and
+// the returned pointer is stable; should an unexpected operator surface
+// anyway, it falls back to a heap node rather than dangling the slab.
+func (s *Space) newInfo(e *memo.Expr) *exprInfo {
+	var info *exprInfo
+	if len(s.slab) < cap(s.slab) {
+		s.slab = append(s.slab, exprInfo{expr: e})
+		info = &s.slab[len(s.slab)-1]
+	} else {
+		info = &exprInfo{expr: e}
+	}
+	s.info[e.ID] = info
+	return info
+}
+
+// wideSlot freezes one overflowing slot's base and prefix table into
+// the space's arena.
+func (info *exprInfo) wideSlot(i int, bW []uint64, prefixW [][]uint64) {
+	if info.bW == nil {
+		info.bW = make([][]uint64, len(info.cands))
+		info.prefixW = make([][][]uint64, len(info.cands))
+	}
+	info.bW[i] = bW
+	info.prefixW[i] = prefixW
+}
+
+// wideFromU64 lifts a native value to canonical limbs.
+func wideFromU64(v uint64) []uint64 {
+	if v == 0 {
+		return nil
+	}
+	return []uint64{v}
+}
+
+// countBig is the math/big counting pass, kept verbatim as the oracle
+// behind WithBigArithmetic.
+func (s *Space) countBig(e *memo.Expr, cfg *config) (*big.Int, error) {
+	if info := s.info[e.ID]; info != nil {
+		return info.n, nil
+	}
+	info := s.newInfo(e)
+	info.cands = s.slots(e, cfg)
+
+	info.n = new(big.Int).Set(bigOne)
+	info.b = make([]*big.Int, len(info.cands))
+	info.prefix = make([][]*big.Int, len(info.cands))
+	for i, cands := range info.cands {
 		b := new(big.Int)
 		prefix := make([]*big.Int, 0, len(cands)+1)
 		prefix = append(prefix, new(big.Int))
-		var b64 uint64
-		var prefix64 []uint64
-		if info.fits {
-			prefix64 = make([]uint64, 1, len(cands)+1)
-		}
 		for _, c := range cands {
-			nc, err := s.count(c, cfg)
+			nc, err := s.countBig(c, cfg)
 			if err != nil {
 				return nil, err
 			}
 			b = new(big.Int).Add(b, nc)
 			prefix = append(prefix, new(big.Int).Set(b))
-			if info.fits {
-				if cinfo := s.info[c.ID]; cinfo.fits {
-					var carry uint64
-					b64, carry = bits.Add64(b64, cinfo.n64, 0)
-					if carry != 0 {
-						info.fits = false
-					} else {
-						prefix64 = append(prefix64, b64)
-					}
-				} else {
-					info.fits = false
-				}
-			}
 		}
 		info.b[i] = b
 		info.prefix[i] = prefix
 		info.n.Mul(info.n, b)
-		if info.fits {
-			info.b64[i] = b64
-			info.prefix64[i] = prefix64
-			hi, lo := bits.Mul64(info.n64, b64)
-			if hi != 0 {
-				info.fits = false
-			} else {
-				info.n64 = lo
-			}
-		}
-	}
-	if !info.fits {
-		info.n64, info.b64, info.prefix64 = 0, nil, nil
 	}
 	return info.n, nil
 }
@@ -278,33 +528,57 @@ func (s *Space) Count() *big.Int { return s.total }
 
 // FitsUint64 reports whether the uint64 fast path is active: the total
 // N (and with it every base and prefix sum reachable during unranking)
-// fits in 64 bits and WithBigArithmetic was not given. When true,
-// Unrank64, Rank64, UnrankInto, SampleRanks, and the pull iterator are
-// available and Unrank/Rank/Sampler dispatch to uint64 arithmetic
-// internally.
+// fits in 64 bits and no forcing option was given. When true, Unrank64,
+// Rank64, UnrankInto, SampleRanks, and the pull iterator are available
+// and Unrank/Rank/Sampler dispatch to uint64 arithmetic internally.
 func (s *Space) FitsUint64() bool { return s.fits }
 
+// Wide reports whether the wide limb tier serves the space — the
+// production path for every space beyond uint64 (and any space forced
+// with WithWideArithmetic).
+func (s *Space) Wide() bool { return s.tier == tierWide }
+
 // CountUint64 returns N as a native uint64 when the fast path is
-// active; ok is false on the big.Int path.
+// active; ok is false on the wide and big tiers.
 func (s *Space) CountUint64() (n uint64, ok bool) { return s.total64, s.fits }
 
-// Arithmetic names the path serving the space — "uint64" or "big" —
-// the canonical label for exports, reports, and CLIs.
-func (s *Space) Arithmetic() string {
-	if s.fits {
-		return "uint64"
+// Arithmetic names the tier serving the space — "uint64", "wide", or
+// "big" — the canonical label for exports, reports, and CLIs.
+func (s *Space) Arithmetic() string { return s.tier.String() }
+
+// RankLimbs returns the number of 64-bit limbs a rank of this space
+// occupies — the buffer size for NextRankInto and UnrankWideInto
+// callers.
+func (s *Space) RankLimbs() int {
+	switch s.tier {
+	case tierWide:
+		if len(s.totalW) == 0 {
+			return 1
+		}
+		return len(s.totalW)
+	case tierBig:
+		return (s.total.BitLen() + 63) / 64
+	default:
+		return 1
 	}
-	return "big"
 }
 
 // CountFor returns N(v) for a specific operator — the number of plans
 // rooted in it (Figure 3's per-operator annotations). Zero for operators
 // filtered out of the space.
 func (s *Space) CountFor(e *memo.Expr) *big.Int {
-	if e.ID < len(s.info) && s.info[e.ID] != nil {
-		return s.info[e.ID].n
+	if e.ID >= len(s.info) || s.info[e.ID] == nil {
+		return new(big.Int)
 	}
-	return new(big.Int)
+	info := s.info[e.ID]
+	switch {
+	case info.n != nil:
+		return info.n
+	case info.fits:
+		return new(big.Int).SetUint64(info.n64)
+	default:
+		return limbsToBig(info.nW)
+	}
 }
 
 // RootOperators returns the root-group operators that contribute plans,

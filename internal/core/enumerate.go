@@ -38,6 +38,35 @@ func (s *Space) EnumerateRange(lo, hi *big.Int, yield func(r *big.Int, p *plan.N
 		}
 		return nil
 	}
+	if s.tier == tierWide {
+		// Wide tier: iterate the rank as limbs with one reused scratch
+		// arena for the decompositions; yielded plans are freshly
+		// allocated (and so retainable), the rank arithmetic is not.
+		if lo.Sign() < 0 {
+			lo = new(big.Int)
+		}
+		cur := bigToLimbs(lo, nil)
+		hiW := s.totalW
+		if hi.Sign() < 0 {
+			return nil
+		}
+		if hi.Cmp(s.total) < 0 {
+			hiW = bigToLimbs(hi, nil)
+		}
+		var wa WideArena
+		for wideCmp(cur, hiW) < 0 {
+			wa.Reset()
+			p, err := s.unrankWide(cur, nil, &wa)
+			if err != nil {
+				return err
+			}
+			if !yield(limbsToBig(cur), p) {
+				return nil
+			}
+			cur = wideIncInPlace(cur)
+		}
+		return nil
+	}
 	r := new(big.Int).Set(lo)
 	for r.Cmp(hi) < 0 && r.Cmp(s.total) < 0 {
 		p, err := s.Unrank(r)
@@ -50,6 +79,18 @@ func (s *Space) EnumerateRange(lo, hi *big.Int, yield func(r *big.Int, p *plan.N
 		r.Add(r, bigOne)
 	}
 	return nil
+}
+
+// wideIncInPlace adds one to a canonical limb slice, growing it when
+// the carry ripples past the top limb.
+func wideIncInPlace(x []uint64) []uint64 {
+	for i := range x {
+		x[i]++
+		if x[i] != 0 {
+			return x
+		}
+	}
+	return append(x, 1)
 }
 
 // PlanIter is a pull-based enumerator over a rank range on the uint64
@@ -69,27 +110,42 @@ type PlanIter struct {
 	rank  uint64
 	plan  *plan.Node
 	arena Arena
+	limb  [1]uint64 // rank buffer on the wide tier
 	err   error
 }
 
 // NewIter returns a pull iterator over the whole space in rank order.
-// It requires the uint64 fast path: a space beyond uint64 cannot be
-// exhaustively scanned anyway.
+// It requires the total to fit uint64 (a larger space cannot be
+// exhaustively scanned anyway), which admits the uint64 tier and any
+// force-wide space of enumerable size.
 func (s *Space) NewIter() (*PlanIter, error) {
-	if !s.fits {
-		return nil, errTooLarge(s.total)
+	if s.fits {
+		return &PlanIter{s: s, hi: s.total64}, nil
 	}
-	return &PlanIter{s: s, hi: s.total64}, nil
+	if s.tier == tierWide {
+		if t, ok := wideToU64(s.totalW); ok {
+			return &PlanIter{s: s, hi: t}, nil
+		}
+	}
+	return nil, errTooLarge(s.total)
 }
 
 // NewRangeIter returns a pull iterator over ranks [lo, hi) (hi clamped
-// to N).
+// to N). It works on the uint64 and wide tiers — on a wide space the
+// ranks themselves are limited to uint64, which any practical scan
+// satisfies.
 func (s *Space) NewRangeIter(lo, hi uint64) (*PlanIter, error) {
-	if !s.fits {
+	switch s.tier {
+	case tierUint64:
+		if hi > s.total64 {
+			hi = s.total64
+		}
+	case tierWide:
+		if t, ok := wideToU64(s.totalW); ok && hi > t {
+			hi = t
+		}
+	default:
 		return nil, errTooLarge(s.total)
-	}
-	if hi > s.total64 {
-		hi = s.total64
 	}
 	return &PlanIter{s: s, next: lo, hi: hi}, nil
 }
@@ -100,7 +156,16 @@ func (it *PlanIter) Next() bool {
 	if it.err != nil || it.next >= it.hi {
 		return false
 	}
-	p, err := it.s.UnrankInto(it.next, &it.arena)
+	var (
+		p   *plan.Node
+		err error
+	)
+	if it.s.fits {
+		p, err = it.s.UnrankInto(it.next, &it.arena)
+	} else {
+		it.limb[0] = it.next
+		p, err = it.s.UnrankWideInto(wideNorm(it.limb[:]), &it.arena)
+	}
 	if err != nil {
 		it.err = err
 		return false

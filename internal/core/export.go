@@ -12,7 +12,8 @@ import (
 type Export struct {
 	TotalPlans string `json:"total_plans"`
 	// Arithmetic records which engine serves the space: "uint64" when
-	// the overflow-checked count fits 64 bits, "big" otherwise.
+	// the overflow-checked count fits 64 bits, "wide" (limb arithmetic)
+	// past that, "big" only when forced for differential testing.
 	Arithmetic string        `json:"arithmetic"`
 	Groups     []ExportGroup `json:"groups"`
 }
@@ -64,7 +65,7 @@ func (s *Space) ExportJSON() ([]byte, error) {
 				Name:      e.Name(),
 				Op:        e.Op.String(),
 				Describe:  e.Describe(),
-				Count:     info.n.String(),
+				Count:     s.CountFor(e).String(),
 				LocalCost: e.LocalCost,
 				Enforcer:  e.IsEnforcer(),
 			}

@@ -24,6 +24,10 @@ import (
 type Arena struct {
 	nodes []plan.Node
 	kids  []*plan.Node
+
+	// wide holds the limb scratch of the wide tier's decomposer, so one
+	// Arena serves UnrankInto and UnrankWideInto alike.
+	wide WideArena
 }
 
 // Reset recycles the arena, invalidating all plans previously built
@@ -31,6 +35,7 @@ type Arena struct {
 func (a *Arena) Reset() {
 	a.nodes = a.nodes[:0]
 	a.kids = a.kids[:0]
+	a.wide.Reset()
 }
 
 func (a *Arena) newNode(e *memo.Expr) *plan.Node {
@@ -47,9 +52,9 @@ func (a *Arena) newChildren(k int) []*plan.Node {
 }
 
 // errBigOnly reports use of a uint64-only entry point on a space served
-// by the big.Int path.
+// by the wide or big tier.
 func (s *Space) errBigOnly() error {
-	return fmt.Errorf("core: space holds %s plans, beyond the uint64 fast path; use the big.Int API", s.total)
+	return fmt.Errorf("core: space holds %s plans, beyond the uint64 fast path (tier %s); use the wide or big.Int API", s.total, s.tier)
 }
 
 // Unrank64 constructs the plan with rank r on the uint64 fast path,
@@ -113,8 +118,11 @@ func (s *Space) unrankExpr64(e *memo.Expr, rl uint64, a *Arena) (*plan.Node, err
 		if b == 0 {
 			return nil, fmt.Errorf("core: operator %s has no candidates for child %d", e.Name(), i)
 		}
-		sub := rem % b
-		rem /= b
+		// Division by the slot base rides the precomputed reciprocal: a
+		// multiply-high instead of a hardware DIV, per slot, per unrank.
+		q := info.div64[i].quo(rem)
+		sub := rem - q*b
+		rem = q
 		prefix := info.prefix64[i]
 		j := selectByPrefix64(prefix, sub)
 		child, err := s.unrankExpr64(info.cands[i][j], sub-prefix[j], a)
@@ -130,14 +138,38 @@ func (s *Space) unrankExpr64(e *memo.Expr, rl uint64, a *Arena) (*plan.Node, err
 }
 
 // selectByPrefix64 is selectByPrefix on native integers: the index k
-// with prefix[k] <= r < prefix[k+1]. Candidate lists are short, so the
-// linear scan beats binary search.
+// with prefix[k] <= r < prefix[k+1]. Short candidate lists take a
+// linear scan; wide lists take a galloping probe (rank mass is often
+// front-loaded) that brackets the answer, then a branch-free binary
+// search inside the bracket — the compiler turns the conditional
+// advance into a CMOV, so wide candidate lists stop paying one
+// mispredicted branch per entry.
 func selectByPrefix64(prefix []uint64, r uint64) int {
-	k := 0
-	for k+1 < len(prefix)-1 && prefix[k+1] <= r {
-		k++
+	n := len(prefix) - 1 // bucket count
+	if n <= 8 {
+		k := 0
+		for k+1 < n && prefix[k+1] <= r {
+			k++
+		}
+		return k
 	}
-	return k
+	hi := 1
+	for hi < n && prefix[hi] <= r {
+		hi <<= 1
+	}
+	if hi > n {
+		hi = n
+	}
+	base := hi >> 1 // prefix[base] <= r by the gallop invariant
+	cnt := hi - base
+	for cnt > 1 {
+		half := cnt >> 1
+		if prefix[base+half] <= r {
+			base += half
+		}
+		cnt -= half
+	}
+	return base
 }
 
 // Rank64 computes the rank of a plan on the uint64 fast path — the

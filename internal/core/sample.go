@@ -15,10 +15,13 @@ import (
 // not be shared across goroutines; the underlying Space may be.
 //
 // Rejection sampling draws ⌈bits(N)/64⌉ generator words per attempt and
-// keeps the top bits(N) bits, succeeding with probability > 1/2. Both
-// arithmetic paths consume the generator identically, so a space forced
-// onto big.Int with WithBigArithmetic yields bit-identical rank
-// sequences to the uint64 fast path for the same seed.
+// keeps the top bits(N) bits, succeeding with probability > 1/2. All
+// three arithmetic tiers consume the generator identically — same word
+// count, same order, same top-word shift — so a space forced onto the
+// wide tier (WithWideArithmetic) or onto math/big (WithBigArithmetic)
+// yields bit-identical rank sequences to the uint64 fast path for the
+// same seed. The wide tier's draw loop reduces the drawn limbs by
+// comparison against the total in place: no big.Int, no allocation.
 type Sampler struct {
 	space *Space
 	rng   *rand.Rand
@@ -30,9 +33,14 @@ type Sampler struct {
 	fast    bool
 	limit64 uint64
 
-	// big.Int path scratch.
+	// wide tier (active when the space runs on limb arithmetic).
+	wide    bool
+	scratch []uint64 // limb buffer for NextRank/Next draws
+
+	// draw buffer shared by the wide and big paths (most-significant
+	// word first, matching the historical big.Int draw order).
 	words []uint64
-	tmp   *big.Int
+	tmp   *big.Int // big path scratch
 }
 
 // NewSampler returns a seeded sampler over the space.
@@ -48,10 +56,15 @@ func (s *Space) NewSampler(seed int64) (*Sampler, error) {
 		shift: uint(nwords*64 - bits),
 		limit: s.total,
 	}
-	if s.fits {
+	switch s.tier {
+	case tierUint64:
 		smp.fast = true
 		smp.limit64 = s.total64
-	} else {
+	case tierWide:
+		smp.wide = true
+		smp.words = make([]uint64, nwords)
+		smp.scratch = make([]uint64, nwords)
+	default:
 		smp.words = make([]uint64, nwords)
 		smp.tmp = new(big.Int)
 	}
@@ -62,12 +75,16 @@ func (s *Space) NewSampler(seed int64) (*Sampler, error) {
 // and SampleRanks require it.
 func (smp *Sampler) Fast() bool { return smp.fast }
 
+// Wide reports whether the sampler runs on the wide limb tier;
+// NextRankInto requires it.
+func (smp *Sampler) Wide() bool { return smp.wide }
+
 // NextRank64 returns a uniform rank in [0, N) on the uint64 path with
-// no heap allocation. It panics when the space is served by big.Int —
-// check Fast (or Space.FitsUint64) first.
+// no heap allocation. It panics when the space is served by another
+// tier — check Fast (or Space.FitsUint64) first.
 func (smp *Sampler) NextRank64() uint64 {
 	if !smp.fast {
-		panic("core: NextRank64 on a big.Int-path sampler; check Fast()")
+		panic("core: NextRank64 on a non-uint64-tier sampler; check Fast()")
 	}
 	for {
 		if v := smp.rng.Uint64() >> smp.shift; v < smp.limit64 {
@@ -89,12 +106,42 @@ func (smp *Sampler) SampleRanks(dst []uint64) error {
 	return nil
 }
 
+// NextRankInto fills dst with a uniform rank in [0, N) as canonical
+// little-endian limbs on the wide tier, with no heap allocation; dst
+// must have length Space.RankLimbs(). The returned slice is dst
+// truncated to canonical length. It panics off the wide tier — check
+// Wide() first.
+func (smp *Sampler) NextRankInto(dst []uint64) []uint64 {
+	if !smp.wide {
+		panic("core: NextRankInto on a non-wide-tier sampler; check Wide()")
+	}
+	n := len(smp.words)
+	if len(dst) < n {
+		panic(fmt.Sprintf("core: NextRankInto buffer holds %d limbs, rank needs %d (Space.RankLimbs)", len(dst), n))
+	}
+	for {
+		for i := range smp.words {
+			smp.words[i] = smp.rng.Uint64()
+		}
+		smp.words[0] >>= smp.shift
+		for i := 0; i < n; i++ {
+			dst[i] = smp.words[n-1-i]
+		}
+		if r := wideNorm(dst[:n]); wideCmp(r, smp.space.totalW) < 0 {
+			return r
+		}
+	}
+}
+
 // NextRank returns a uniform rank in [0, N) by rejection sampling on
 // bit-strings of N's length: each draw succeeds with probability > 1/2,
 // so the expected number of draws is below 2.
 func (smp *Sampler) NextRank() *big.Int {
 	if smp.fast {
 		return new(big.Int).SetUint64(smp.NextRank64())
+	}
+	if smp.wide {
+		return limbsToBig(smp.NextRankInto(smp.scratch))
 	}
 	for {
 		for i := range smp.words {
@@ -121,6 +168,14 @@ func (smp *Sampler) Next() (*big.Int, *plan.Node, error) {
 			return nil, nil, err
 		}
 		return new(big.Int).SetUint64(r), p, nil
+	}
+	if smp.wide {
+		r := smp.NextRankInto(smp.scratch)
+		p, err := smp.space.UnrankWide(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		return limbsToBig(r), p, nil
 	}
 	r := smp.NextRank()
 	p, err := smp.space.Unrank(r)

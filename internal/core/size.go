@@ -11,7 +11,7 @@ const (
 	sliceOverhead  = 24  // slice header
 	memoExprBytes  = 256 // memo.Expr with typical payload
 	memoGroupBytes = 192 // memo.Group sans Exprs slices
-	exprInfoBytes  = 96  // exprInfo struct itself
+	exprInfoBytes  = 144 // exprInfo struct itself
 )
 
 func bigIntBytes(x *big.Int) int64 {
@@ -23,44 +23,67 @@ func bigIntBytes(x *big.Int) int64 {
 
 // MemoryFootprint estimates the resident bytes of the counted space:
 // the MEMO it pins (groups and operators) plus the link structure the
-// counting pass materialized — candidate lists, per-slot bases and
-// prefix-sum tables on the big.Int path, and their uint64 mirrors when
-// the fast path is active. The SpaceCache's byte-budget eviction is
-// driven by this number.
+// counting pass materialized in whichever tier serves it — candidate
+// lists, uint64 base/prefix tables, the wide tier's limb arena (which
+// backs every wide count, base, and prefix-sum table), and the big.Int
+// tables when the oracle was forced. Non-uint64 spaces charge their
+// full prefix-sum storage, so the SpaceCache's byte-budget eviction
+// prices a wide Q8+cross space honestly instead of assuming the uint64
+// layout.
 func (s *Space) MemoryFootprint() int64 {
 	var n int64
 	for _, info := range s.info {
 		if info == nil {
 			continue
 		}
-		n += exprInfoBytes
-		for _, c := range info.cands {
-			n += sliceOverhead + int64(len(c))*8
+		// Candidate lists: the pointers live in s.cands (counted once
+		// below); charge the per-slot slice headers.
+		n += sliceOverhead + int64(len(info.cands))*sliceOverhead
+		n += int64(len(info.div64)) * 16
+
+		// uint64 tables: the limb data lives in s.tab (counted once
+		// below); charge the slice headers that reference it.
+		n += sliceOverhead
+		n += sliceOverhead + int64(len(info.prefix64))*sliceOverhead
+
+		// Wide tables: the limbs live in s.tab (counted once below);
+		// charge the slice headers that reference them.
+		if info.nW != nil {
+			n += sliceOverhead
 		}
-		n += sliceOverhead + int64(len(info.b))*8
-		for _, b := range info.b {
-			n += bigIntBytes(b)
-		}
-		for _, p := range info.prefix {
-			n += sliceOverhead + int64(len(p))*8
-			for _, x := range p {
-				n += bigIntBytes(x)
+		if info.bW != nil {
+			n += 2 * (sliceOverhead + int64(len(info.bW))*sliceOverhead)
+			for _, pw := range info.prefixW {
+				n += int64(len(pw)) * sliceOverhead
 			}
 		}
+
+		// big.Int tables (oracle only).
 		n += bigIntBytes(info.n)
-		n += sliceOverhead + int64(len(info.b64))*8
-		for _, p := range info.prefix64 {
-			n += sliceOverhead + int64(len(p))*8
+		if info.b != nil {
+			n += sliceOverhead + int64(len(info.b))*8
+			for _, b := range info.b {
+				n += bigIntBytes(b)
+			}
+			for _, p := range info.prefix {
+				n += sliceOverhead + int64(len(p))*8
+				for _, x := range p {
+					n += bigIntBytes(x)
+				}
+			}
 		}
 	}
 	n += sliceOverhead + int64(len(s.info))*8
+	n += int64(len(s.slab)) * exprInfoBytes
+	n += s.cands.memoryBytes()
 	n += sliceOverhead + int64(len(s.rootOps))*8
-	n += sliceOverhead + int64(len(s.prefix))*8
+	n += bigIntBytes(s.total)
+	n += sliceOverhead + int64(len(s.prefix64))*8
 	for _, x := range s.prefix {
 		n += bigIntBytes(x)
 	}
-	n += bigIntBytes(s.total)
-	n += sliceOverhead + int64(len(s.prefix64))*8
+	n += int64(len(s.prefixW)) * sliceOverhead
+	n += s.tab.MemoryBytes() // every wide limb: counts, bases, prefix sums
 
 	if s.Memo != nil {
 		st := s.Memo.Stats()

@@ -22,6 +22,9 @@ func (s *Space) Unrank(r *big.Int) (*plan.Node, error) {
 	if r.Sign() < 0 || r.Cmp(s.total) >= 0 {
 		return nil, fmt.Errorf("core: rank %s out of range [0, %s)", r, s.total)
 	}
+	if s.tier == tierWide {
+		return s.UnrankWide(bigToLimbs(r, nil))
+	}
 	// Select the root operator: the first covers ranks 0..N(v1)-1, the
 	// second N(v1)..N(v1)+N(v2)-1, and so on.
 	k := selectByPrefix(s.prefix, r)
@@ -79,6 +82,30 @@ func selectByPrefix(prefix []*big.Int, r *big.Int) int {
 	return k
 }
 
+// UnrankBigInto is Unrank reusing an arena: ranks within the uint64 or
+// wide tier decompose into a's node and limb buffers with no
+// steady-state allocation (the big tier falls back to fresh
+// allocation — it is the oracle, not a production path). The returned
+// plan is valid until the next unranking call on the same arena.
+func (s *Space) UnrankBigInto(r *big.Int, a *Arena) (*plan.Node, error) {
+	if r.Sign() < 0 || r.Cmp(s.total) >= 0 {
+		return nil, fmt.Errorf("core: rank %s out of range [0, %s)", r, s.total)
+	}
+	switch {
+	case s.fits:
+		return s.UnrankInto(r.Uint64(), a)
+	case s.tier == tierWide:
+		if a == nil {
+			return s.UnrankWide(bigToLimbs(r, nil))
+		}
+		a.Reset()
+		limbs := bigToLimbs(r, a.wide.Alloc(s.RankLimbs()))
+		return s.unrankWide(limbs, a, &a.wide)
+	default:
+		return s.Unrank(r)
+	}
+}
+
 // Rank computes the integer the given plan maps to — the inverse of
 // Unrank. It is used by property tests (Rank(Unrank(r)) == r) and to
 // answer the paper's "what number did the optimizer's own choice get?".
@@ -89,6 +116,9 @@ func (s *Space) Rank(n *plan.Node) (*big.Int, error) {
 			return nil, err
 		}
 		return new(big.Int).SetUint64(r), nil
+	}
+	if s.tier == tierWide {
+		return s.rankWide(n)
 	}
 	for k, e := range s.rootOps {
 		if e == n.Expr {

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"encoding/binary"
+	"math/big"
+	"testing"
+)
+
+// limbsFromBytes packs fuzz input into a canonical limb slice (8 bytes
+// per limb, little endian), capped so the fuzzer explores widths rather
+// than sheer size.
+func limbsFromBytes(b []byte, maxLimbs int) []uint64 {
+	n := len(b) / 8
+	if n > maxLimbs {
+		n = maxLimbs
+	}
+	x := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		x[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return wideNorm(x)
+}
+
+// FuzzWideDivMod is the limb-divmod-vs-math/big differential fuzzer:
+// for arbitrary dividend/divisor limb patterns, Knuth D must produce
+// exactly big.Int's quotient and remainder, the identity q*v + r == u
+// must hold, and r < v. Seeds cover the saturation and add-back
+// corners; `go test` runs the seed corpus on every CI pass.
+func FuzzWideDivMod(f *testing.F) {
+	max8 := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	one8 := []byte{1, 0, 0, 0, 0, 0, 0, 0}
+	zero8 := []byte{0, 0, 0, 0, 0, 0, 0, 0}
+	cat := func(parts ...[]byte) []byte {
+		var out []byte
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+		return out
+	}
+	f.Add(cat(max8, max8, max8), cat(one8, max8))   // add-back pressure
+	f.Add(cat(zero8, one8), max8)                   // 2^64 / (2^64-1): qhat saturation
+	f.Add(cat(zero8, zero8, one8), cat(one8, one8)) // 2^128 / (2^64+1)
+	f.Add(cat(max8, zero8, max8, zero8, max8), cat(max8, one8))
+	f.Add(cat(one8, zero8, zero8, one8), cat(zero8, one8)) // sparse limbs
+	f.Add([]byte{7}, []byte{3})                            // sub-limb input (ignored tail)
+	f.Fuzz(func(t *testing.T, ub, vb []byte) {
+		u := limbsFromBytes(ub, 12)
+		v := limbsFromBytes(vb, 8)
+		if len(v) == 0 {
+			return // divisor zero: callers guard before dividing
+		}
+		var a WideArena
+		q, r := wideDivMod(u, v, &a)
+		bu, bv := limbsToBig(u), limbsToBig(v)
+		wantQ, wantR := new(big.Int).QuoRem(bu, bv, new(big.Int))
+		if limbsToBig(q).Cmp(wantQ) != 0 || limbsToBig(r).Cmp(wantR) != 0 {
+			t.Fatalf("divmod(%s, %s) = (%s, %s); want (%s, %s)",
+				bu, bv, limbsToBig(q), limbsToBig(r), wantQ, wantR)
+		}
+		if wideCmp(r, v) >= 0 {
+			t.Fatalf("remainder %s >= divisor %s", limbsToBig(r), bv)
+		}
+		check := new(big.Int).Mul(limbsToBig(q), bv)
+		check.Add(check, limbsToBig(r))
+		if check.Cmp(bu) != 0 {
+			t.Fatalf("q*v + r = %s, want %s", check, bu)
+		}
+	})
+}
+
+// FuzzWideMulAdd cross-checks the counting pass's primitives: for
+// arbitrary operands, wideMul and wideAdd agree with math/big and
+// multiplication round-trips through division.
+func FuzzWideMulAdd(f *testing.F) {
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{1}, []byte{})
+	f.Fuzz(func(t *testing.T, xb, yb []byte) {
+		x := limbsFromBytes(xb, 8)
+		y := limbsFromBytes(yb, 8)
+		bx, by := limbsToBig(x), limbsToBig(y)
+		if got, want := limbsToBig(wideMul(x, y)), new(big.Int).Mul(bx, by); got.Cmp(want) != 0 {
+			t.Fatalf("mul(%s, %s) = %s, want %s", bx, by, got, want)
+		}
+		if got, want := limbsToBig(wideAdd(x, y)), new(big.Int).Add(bx, by); got.Cmp(want) != 0 {
+			t.Fatalf("add(%s, %s) = %s, want %s", bx, by, got, want)
+		}
+		if len(y) != 0 && len(x) != 0 {
+			var a WideArena
+			q, r := wideDivMod(wideMul(x, y), y, &a)
+			if len(r) != 0 || wideCmp(q, x) != 0 {
+				t.Fatalf("(x*y)/y = (%s, %s), want (%s, 0)", limbsToBig(q), limbsToBig(r), bx)
+			}
+		}
+	})
+}

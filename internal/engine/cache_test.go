@@ -2,10 +2,13 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/opt"
 )
 
 func fp(b byte) Fingerprint {
@@ -59,7 +62,8 @@ func TestCacheSingleflight(t *testing.T) {
 // TestCacheLRUEviction: beyond the capacity the least-recently-used
 // space is dropped; touching an entry protects it.
 func TestCacheLRUEviction(t *testing.T) {
-	c := NewSpaceCache(2)
+	// One shard: LRU order must be globally exact for this test.
+	c := NewSpaceCacheSharded(2, 1)
 	get := func(b byte) (*PlanSpace, bool) {
 		t.Helper()
 		ps, cached, err := c.GetOrBuild(fp(b), 1, func() (*PlanSpace, error) {
@@ -123,7 +127,9 @@ func TestCacheErrorNotCached(t *testing.T) {
 // TestCacheInvalidation: observing a newer catalog version drops every
 // space built against an older one.
 func TestCacheInvalidation(t *testing.T) {
-	c := NewSpaceCache(8)
+	// One shard for exact counter expectations; the cross-shard
+	// broadcast case is TestCacheShardedInvalidation.
+	c := NewSpaceCacheSharded(8, 1)
 	build := func() (*PlanSpace, error) { return &PlanSpace{}, nil }
 	if _, _, err := c.GetOrBuild(fp(1), 1, build); err != nil {
 		t.Fatal(err)
@@ -206,7 +212,7 @@ func TestCachePanicDoesNotWedge(t *testing.T) {
 // canonical SQL length (SizeBytes = fixed overhead + len(Canonical) for
 // a space-less PlanSpace).
 func TestCacheByteBudgetEviction(t *testing.T) {
-	c := NewSpaceCache(100) // entry cap out of the way
+	c := NewSpaceCacheSharded(100, 1) // one shard: byte eviction order must be exact
 	entry := func(b byte, canonLen int) (*PlanSpace, bool) {
 		t.Helper()
 		ps, cached, err := c.GetOrBuild(fp(b), 1, func() (*PlanSpace, error) {
@@ -273,5 +279,154 @@ func TestCacheBytesAccounting(t *testing.T) {
 	c.GetOrBuild(fp(9), 2, func() (*PlanSpace, error) { return nil, errors.New("boom") })
 	if st := c.Stats(); st.BytesCached != 0 {
 		t.Errorf("failed build left bytes behind: %+v", st)
+	}
+}
+
+// TestCacheShardDistribution: a sharded cache spreads fingerprints
+// across shards (SHA-256 prefixes are uniform), aggregates counters
+// correctly, and splits capacity so the total never drops below the
+// requested one.
+func TestCacheShardDistribution(t *testing.T) {
+	c := NewSpaceCacheSharded(64, 4)
+	if c.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", c.Shards())
+	}
+	var fps []Fingerprint
+	for i := 0; i < 32; i++ {
+		fps = append(fps, fingerprintOf(fmt.Sprintf("SELECT %d", i), opt.DefaultOptions(), 1, 1))
+	}
+	for _, f := range fps {
+		if _, _, err := c.GetOrBuild(f, 1, func() (*PlanSpace, error) { return &PlanSpace{}, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != len(fps) || st.Misses != uint64(len(fps)) {
+		t.Fatalf("aggregate stats = %+v, want %d entries/misses", st, len(fps))
+	}
+	if len(st.Shards) != 4 {
+		t.Fatalf("per-shard breakdown has %d rows", len(st.Shards))
+	}
+	if st.Capacity < 64 {
+		t.Fatalf("split capacity %d below requested 64", st.Capacity)
+	}
+	populated := 0
+	sum := 0
+	for _, sh := range st.Shards {
+		if sh.Entries > 0 {
+			populated++
+		}
+		sum += sh.Entries
+	}
+	if sum != st.Entries {
+		t.Fatalf("shard entries sum %d != aggregate %d", sum, st.Entries)
+	}
+	if populated < 2 {
+		t.Fatalf("32 uniform fingerprints landed in %d shard(s); routing looks degenerate", populated)
+	}
+	// Hits route to the same shard and aggregate.
+	for _, f := range fps {
+		if _, cached, _ := c.GetOrBuild(f, 1, func() (*PlanSpace, error) { return &PlanSpace{}, nil }); !cached {
+			t.Fatal("expected a cache hit on reinsertion")
+		}
+	}
+	if st = c.Stats(); st.Hits != uint64(len(fps)) {
+		t.Fatalf("aggregate hits = %d, want %d", st.Hits, len(fps))
+	}
+}
+
+// TestCacheShardedInvalidation: explicit Invalidate broadcasts to every
+// shard, and a newer version observed through GetOrBuild cleans at
+// least the accessed shard while fingerprint-embedded versions keep
+// stale spaces unreachable everywhere.
+func TestCacheShardedInvalidation(t *testing.T) {
+	c := NewSpaceCacheSharded(64, 8)
+	var fps []Fingerprint
+	for i := 0; i < 24; i++ {
+		fps = append(fps, fingerprintOf(fmt.Sprintf("SELECT %d", i), opt.DefaultOptions(), 1, 1))
+	}
+	for _, f := range fps {
+		c.GetOrBuild(f, 1, func() (*PlanSpace, error) { return &PlanSpace{}, nil })
+	}
+	c.Invalidate(2)
+	st := c.Stats()
+	if st.Entries != 0 {
+		t.Fatalf("explicit Invalidate left %d entries across shards", st.Entries)
+	}
+	// A newer version observed through GetOrBuild broadcasts too: one
+	// request must release stale spaces in every shard, not just the
+	// one its fingerprint hashes to.
+	for _, f := range fps {
+		c.GetOrBuild(f, 2, func() (*PlanSpace, error) { return &PlanSpace{}, nil })
+	}
+	c.GetOrBuild(fps[0], 3, func() (*PlanSpace, error) { return &PlanSpace{}, nil })
+	if got := c.Stats().Entries; got != 1 {
+		t.Fatalf("version bump via GetOrBuild left %d stale entries resident, want 1", got)
+	}
+	if st.Invalidations != uint64(len(fps)) {
+		t.Fatalf("invalidations = %d, want %d", st.Invalidations, len(fps))
+	}
+	if st.BytesCached != 0 {
+		t.Fatalf("bytes not released across shards: %+v", st)
+	}
+}
+
+// TestCacheShardedSingleflight: concurrent misses for many fingerprints
+// across shards still build each space exactly once.
+func TestCacheShardedSingleflight(t *testing.T) {
+	c := NewSpaceCacheSharded(64, 8)
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		f := fingerprintOf(fmt.Sprintf("SELECT %d", i), opt.DefaultOptions(), 1, 1)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, _, err := c.GetOrBuild(f, 1, func() (*PlanSpace, error) {
+					builds.Add(1)
+					time.Sleep(5 * time.Millisecond)
+					return &PlanSpace{}, nil
+				})
+				if err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 16 {
+		t.Fatalf("builders ran %d times for 16 fingerprints", n)
+	}
+}
+
+// TestCacheShardedByteBudget: SetByteBudget splits across shards and
+// still evicts; zero disables byte eviction on every shard.
+func TestCacheShardedByteBudget(t *testing.T) {
+	c := NewSpaceCacheSharded(100, 4)
+	one := (&PlanSpace{}).SizeBytes()
+	c.SetByteBudget(4 * (one + one/2)) // about 1.5 entries of budget per shard
+	var fps []Fingerprint
+	for i := 0; i < 40; i++ {
+		f := fingerprintOf(fmt.Sprintf("SELECT %d", i), opt.DefaultOptions(), 1, 1)
+		fps = append(fps, f)
+		c.GetOrBuild(f, 1, func() (*PlanSpace, error) { return &PlanSpace{}, nil })
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no byte evictions under a tight split budget: %+v", st)
+	}
+	for _, sh := range st.Shards {
+		if sh.Entries > 2 {
+			t.Fatalf("a shard holds %d entries beyond its budget slice: %+v", sh.Entries, st)
+		}
+	}
+	c.SetByteBudget(0)
+	before := c.Stats().Evictions
+	for _, f := range fps[:8] {
+		c.GetOrBuild(f, 1, func() (*PlanSpace, error) { return &PlanSpace{}, nil })
+	}
+	if after := c.Stats().Evictions; after != before {
+		t.Fatalf("byte eviction ran with budget disabled: %d -> %d", before, after)
 	}
 }

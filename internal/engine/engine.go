@@ -261,6 +261,10 @@ func (p *Prepared) Count() *big.Int { return p.Space.Count() }
 // (see core.Space.FitsUint64).
 func (p *Prepared) FitsUint64() bool { return p.Space.FitsUint64() }
 
+// Arithmetic names the tier serving the space — "uint64", "wide", or
+// "big" (see core.Space.Arithmetic).
+func (p *Prepared) Arithmetic() string { return p.Space.Arithmetic() }
+
 // CountUint64 returns the plan count as a native uint64 when the fast
 // path is active.
 func (p *Prepared) CountUint64() (uint64, bool) { return p.Space.CountUint64() }

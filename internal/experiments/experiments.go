@@ -178,8 +178,11 @@ func sampleScaledCosts(p *engine.Prepared, cfg *Config) ([]float64, error) {
 // seed. On the uint64 fast path it samples ranks in batches and unranks
 // them through one reused arena and cost stack — the sampled plan is
 // costed and discarded, so the loop is allocation-free after warm-up.
-// The big.Int fallback draws plan by plan; both paths see the same
-// plans for the same seed.
+// The wide limb tier (spaces beyond 2^64, e.g. Q8 with Cartesian
+// products) keeps the same steady-state profile: one reused limb
+// buffer, one arena, one cost stack. Only a space forced onto the
+// math/big oracle draws plan by plan with per-plan allocation; all
+// tiers see the same plans for the same seed.
 func sampleRegion(p *engine.Prepared, seed int64, out []float64) error {
 	smp, err := p.Sampler(seed)
 	if err != nil {
@@ -209,6 +212,22 @@ func sampleRegion(p *engine.Prepared, seed int64, out []float64) error {
 				}
 				out[off+i] = sc
 			}
+		}
+		return nil
+	}
+	if smp.Wide() {
+		buf := make([]uint64, p.Space.RankLimbs())
+		var arena core.Arena
+		for i := range out {
+			pl, err := p.Space.UnrankWideInto(smp.NextRankInto(buf), &arena)
+			if err != nil {
+				return err
+			}
+			sc, err := p.ScaledCostWith(pl, &costBuf)
+			if err != nil {
+				return err
+			}
+			out[i] = sc
 		}
 		return nil
 	}

@@ -14,6 +14,7 @@
 //	POST /count         — plan count only
 //	POST /unrank        — batch of plan numbers → plan trees with scaled costs
 //	POST /sample        — k uniform plans; rides the uint64 batched fast path
+//	                      (or the allocation-free wide limb tier past 2^64 plans)
 //	POST /explain       — EXPLAIN tree of the optimal plan or a numbered plan
 //	POST /execute       — run one plan (by rank / USEPLAN / optimal) under Governor limits
 //	POST /execute_batch — sample k plans and execute each under a per-plan budget
@@ -199,7 +200,7 @@ func (s *Server) prepare(w http.ResponseWriter, q QueryRequest) (*engine.Prepare
 type SpaceInfo struct {
 	Fingerprint string `json:"fingerprint"`
 	Count       string `json:"count"`
-	Arithmetic  string `json:"arithmetic"` // "uint64" or "big"
+	Arithmetic  string `json:"arithmetic"` // "uint64", "wide", or "big"
 	Cached      bool   `json:"cached"`
 }
 
@@ -305,13 +306,17 @@ func (s *Server) handleUnrank(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := UnrankResponse{SpaceInfo: spaceInfo(p), Plans: make([]PlanResponse, 0, len(req.Ranks))}
 	var costBuf plan.CostBuf
+	var arena core.Arena
 	for _, text := range req.Ranks {
 		rank, okRank := new(big.Int).SetString(text, 10)
 		if !okRank || rank.Sign() < 0 {
 			s.writeErr(w, http.StatusBadRequest, "invalid plan number %q", text)
 			return
 		}
-		pl, err := p.Unrank(rank)
+		// One arena serves the whole batch: on the uint64 and wide tiers
+		// each plan decomposes into reused node/limb buffers (it is
+		// rendered before the next iteration overwrites it).
+		pl, err := p.Space.UnrankBigInto(rank, &arena)
 		if err != nil {
 			s.writeErr(w, http.StatusUnprocessableEntity, "unrank %s: %v", rank, err)
 			return
@@ -385,13 +390,19 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusUnprocessableEntity, "sampler: %v", err)
 		return
 	}
-	if smp.Fast() {
+	switch {
+	case smp.Fast():
 		// The uint64 fast path: batched rank generation, arena-reused
 		// unranking, stack-reused costing. Beyond the response slices
 		// above, the loop allocates nothing per plan (the rank's decimal
 		// string is response encoding).
 		err = sampleFast(p, smp, ranks, costs, plans)
-	} else {
+	case smp.Wide():
+		// The wide limb tier — spaces beyond 2^64 plans: reused limb
+		// buffer, arena-reused wide unranking, allocation-free decimal
+		// rendering. Same steady-state profile as the fast path.
+		err = sampleWide(p, smp, ranks, costs, plans)
+	default:
 		err = sampleBig(p, smp, ranks, costs, plans)
 	}
 	if err != nil {
@@ -453,8 +464,39 @@ func sampleFast(p *engine.Prepared, smp *core.Sampler, ranks []string, costs []f
 	return nil
 }
 
-// sampleBig is the fallback for spaces beyond 2^64: plan-by-plan
-// sampling through math/big.
+// sampleWide draws plans on the wide limb tier: each rank lands in a
+// reused limb buffer (Sampler.NextRankInto), unranks through one reused
+// arena, and renders its decimal string through the arena's limb
+// scratch — no math/big anywhere, no per-plan allocation beyond the
+// response strings.
+func sampleWide(p *engine.Prepared, smp *core.Sampler, ranks []string, costs []float64, plans []string) error {
+	var arena core.Arena
+	var dec core.WideArena
+	var costBuf plan.CostBuf
+	buf := make([]uint64, p.Space.RankLimbs())
+	decBuf := make([]byte, 0, 64)
+	for i := range ranks {
+		rk := smp.NextRankInto(buf)
+		pl, err := p.Space.UnrankWideInto(rk, &arena)
+		if err != nil {
+			return err
+		}
+		sc, err := p.ScaledCostWith(pl, &costBuf)
+		if err != nil {
+			return err
+		}
+		costs[i] = sc
+		dec.Reset()
+		ranks[i] = string(core.AppendWideDecimal(decBuf[:0], rk, &dec))
+		if plans != nil {
+			plans[i] = pl.String()
+		}
+	}
+	return nil
+}
+
+// sampleBig is the oracle fallback (spaces forced onto math/big):
+// plan-by-plan sampling through big.Int.
 func sampleBig(p *engine.Prepared, smp *core.Sampler, ranks []string, costs []float64, plans []string) error {
 	var costBuf plan.CostBuf
 	for i := range ranks {

@@ -211,17 +211,17 @@ func TestSampleDeterministicAndConsistent(t *testing.T) {
 	}
 }
 
-// TestSampleBigIntFallback: Q8 with Cartesian products (~2.7·10^22
-// plans) exceeds uint64, so the service must serve it through the
-// big.Int path — and say so.
-func TestSampleBigIntFallback(t *testing.T) {
+// TestSampleWideTier: Q8 with Cartesian products (~2.7·10^22 plans)
+// exceeds uint64, so the service must serve it through the wide limb
+// tier — and say so in every space-touching response and in /stats.
+func TestSampleWideTier(t *testing.T) {
 	srv, _ := newTestServer(t)
 	var resp SampleResponse
 	post(t, srv.Handler(), "/sample",
 		SampleRequest{QueryRequest: QueryRequest{Query: "Q8", Cross: true}, K: 4, Seed: 1},
 		http.StatusOK, &resp)
-	if resp.Arithmetic != "big" {
-		t.Fatalf("Q8+cross arithmetic = %q, want big", resp.Arithmetic)
+	if resp.Arithmetic != "wide" {
+		t.Fatalf("Q8+cross arithmetic = %q, want wide", resp.Arithmetic)
 	}
 	count, ok := new(big.Int).SetString(resp.Count, 10)
 	if !ok {
@@ -232,11 +232,90 @@ func TestSampleBigIntFallback(t *testing.T) {
 	}
 	// The drawn ranks must themselves be beyond-uint64-capable strings
 	// within [0, count).
+	beyond := false
 	for _, rs := range resp.Ranks {
 		r, ok := new(big.Int).SetString(rs, 10)
 		if !ok || r.Sign() < 0 || r.Cmp(count) >= 0 {
 			t.Errorf("rank %q out of [0, %s)", rs, count)
 		}
+		if ok && r.BitLen() > 64 {
+			beyond = true
+		}
+	}
+	if !beyond {
+		t.Log("note: no drawn rank exceeded 64 bits this seed")
+	}
+
+	// /unrank on the drawn wide ranks reproduces the drawn costs — the
+	// arena-reused wide unranking path agrees with the sampler's.
+	var ur UnrankResponse
+	post(t, srv.Handler(), "/unrank",
+		UnrankRequest{QueryRequest: QueryRequest{Query: "Q8", Cross: true}, Ranks: resp.Ranks},
+		http.StatusOK, &ur)
+	for i := range ur.Plans {
+		if ur.Plans[i].Rank != resp.Ranks[i] {
+			t.Errorf("unrank %d returned rank %s, want %s", i, ur.Plans[i].Rank, resp.Ranks[i])
+		}
+		if diff := ur.Plans[i].ScaledCost - resp.ScaledCosts[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("rank %s: /unrank cost %g, /sample cost %g", resp.Ranks[i], ur.Plans[i].ScaledCost, resp.ScaledCosts[i])
+		}
+	}
+
+	// /stats surfaces the arithmetic tier of every cached space and the
+	// per-shard cache breakdown.
+	req := httptest.NewRequest(http.MethodGet, "/stats", nil)
+	w := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(w, req)
+	var st StatsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Arithmetic["wide"] == 0 {
+		t.Errorf("/stats arithmetic = %v, want a wide space counted", st.Cache.Arithmetic)
+	}
+	if len(st.Cache.Shards) == 0 {
+		t.Error("/stats has no per-shard cache breakdown")
+	}
+}
+
+// TestSampleWideLoopAllocationFree: the wide-tier sampling loop behind
+// /sample — limb rank draws, arena-reused wide unranking, stack
+// costing, arena-backed decimal rendering — must not allocate per plan
+// beyond the response strings, exactly like the uint64 loop.
+func TestSampleWideLoopAllocationFree(t *testing.T) {
+	_, e := newTestServer(t)
+	sqlQ8, _ := tpch.Query("Q8")
+	p, err := e.Session(engine.WithCartesian(true)).Prepare(sqlQ8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Space.Wide() {
+		t.Fatalf("Q8+cross tier = %s, want wide", p.Space.Arithmetic())
+	}
+	const k = 512
+	ranks := make([]string, k)
+	costs := make([]float64, k)
+	smp, err := p.Sampler(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !smp.Wide() {
+		t.Fatal("Q8+cross sampler should run the wide tier")
+	}
+	if err := sampleWide(p, smp, ranks, costs, nil); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if err := sampleWide(p, smp, ranks, costs, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// k rank strings per run are response encoding; the limb buffer,
+	// both arenas, and the cost stack must be steady-state.
+	perPlan := (avg - k) / k
+	if perPlan > 0.1 {
+		t.Errorf("wide sampling loop allocates %.2f times per plan beyond response encoding (%.0f allocs for %d plans)",
+			perPlan, avg, k)
 	}
 }
 
