@@ -429,6 +429,42 @@ func BenchmarkPrepare(b *testing.B) {
 	})
 }
 
+// BenchmarkRecost measures the overlay tier's payoff: re-costing a
+// cached structure after a cost-side change (here a feedback-epoch
+// bump; statistics refreshes and cost-parameter changes take the same
+// path) versus the cold Prepare the old single-tier cache would have
+// paid. The tentpole acceptance bar is >= 10x.
+func BenchmarkRecost(b *testing.B) {
+	sqlText, _ := tpch.Query("Q9")
+	b.Run("Q9/recost", func(b *testing.B) {
+		e := engine.New(db(b))
+		if _, err := e.Prepare(sqlText); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.ApplyFeedback() // bump the epoch: overlay stale, structure intact
+			p, err := e.Prepare(sqlText)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !p.Cached || p.OverlayCached {
+				b.Fatalf("want structure hit + overlay rebuild, got cached=%v overlay_cached=%v", p.Cached, p.OverlayCached)
+			}
+		}
+	})
+	b.Run("Q9/coldprepare", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := engine.New(db(b), engine.WithCache(engine.NewSpaceCache(1)))
+			if _, err := e.Prepare(sqlText); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkTable1 regenerates the paper's Table 1 (E1) and logs it.
 func BenchmarkTable1(b *testing.B) {
 	cfg := experiments.Config{SampleSize: benchSamples(), Seed: 1}

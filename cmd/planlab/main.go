@@ -48,17 +48,18 @@ func main() {
 		execTO  = flag.Duration("exec-timeout", 0, "wall-clock budget for -exec (0 = none)")
 		execMR  = flag.Int64("exec-maxrows", 0, "output row cap for -exec (0 = unlimited)")
 		execMW  = flag.Int64("exec-maxwork", 0, "intermediate-row budget for -exec (0 = unlimited)")
+		fback   = flag.Bool("feedback", false, "run the adaptive loop: execute the optimal plan, apply cardinality feedback, re-optimize, and show the before/after plan choice")
 	)
 	flag.Parse()
 	lim := exec.Options{Timeout: *execTO, MaxRows: *execMR, MaxIntermediateRows: *execMW}
-	if err := run(*sf, *seed, *query, *sqlText, *cross, *count, *dump, *explain, *jsonOut, *useplan, *enum, *sample, *sseed, *execute, lim); err != nil {
+	if err := run(*sf, *seed, *query, *sqlText, *cross, *count, *dump, *explain, *jsonOut, *useplan, *enum, *sample, *sseed, *execute, *fback, lim); err != nil {
 		fmt.Fprintln(os.Stderr, "planlab:", err)
 		os.Exit(1)
 	}
 }
 
 func run(sf float64, seed int64, query, sqlText string, cross, count, dump, explain, jsonOut bool,
-	useplan string, enum, sample int, sseed int64, execute bool, lim exec.Options) error {
+	useplan string, enum, sample int, sseed int64, execute, fback bool, lim exec.Options) error {
 
 	if sqlText == "" {
 		if query == "" {
@@ -92,10 +93,10 @@ func run(sf float64, seed int64, query, sqlText string, cross, count, dump, expl
 		fmt.Printf("N = %s\n", p.Count())
 	}
 	if dump {
-		fmt.Print(p.Opt.Memo.Dump())
+		fmt.Print(p.Opt.Memo.DumpAnnotated(p.Opt.Costing.CardOf))
 	}
 	if jsonOut {
-		blob, err := p.Space.ExportJSON()
+		blob, err := p.ExportJSON()
 		if err != nil {
 			return err
 		}
@@ -190,8 +191,67 @@ func run(sf float64, seed int64, query, sqlText string, cross, count, dump, expl
 		fmt.Println()
 		fmt.Println("operator counters:")
 		for _, op := range res.Stats.Operators {
-			fmt.Printf("  %-6s %-32s %12d rows\n", op.Name, op.Op, op.Rows)
+			fmt.Printf("  %-6s %-32s %12d rows %8d opens\n", op.Name, op.Op, op.Rows, op.Opens)
 		}
 	}
+	if fback {
+		if err := feedbackLoop(sess, p, sqlText, lim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// feedbackLoop demonstrates the adaptive re-optimization loop on one
+// query: execute the optimizer's current choice (recording observed
+// cardinalities), fold the feedback, re-cost the cached structure, and
+// execute the possibly different new choice — printing the before/after
+// ranks, estimated costs, and measured latencies.
+func feedbackLoop(sess *engine.Session, p *engine.Prepared, sqlText string, lim exec.Options) error {
+	eng := sess.Engine()
+	rank, err := p.OptimalRank()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("feedback: optimal before = rank %s (estimated cost %.2f)\n", rank, p.OptimalCost())
+	start := time.Now()
+	res, err := p.ExecuteWith(context.Background(), p.OptimalPlan(), lim)
+	if err != nil {
+		return err
+	}
+	before := time.Since(start)
+	fmt.Printf("feedback: executed in %v (%d rows examined)\n", before.Round(time.Microsecond), res.Stats.RowsExamined)
+
+	folded, epoch := eng.ApplyFeedback()
+	fmt.Printf("feedback: applied %d correction(s), epoch %d\n", folded, epoch)
+	for _, c := range eng.Feedback().Corrections() {
+		fmt.Printf("  %-60s x%.4g (%d obs)\n", c.Key, c.Factor, c.Observations)
+	}
+
+	p2, err := sess.Prepare(sqlText)
+	if err != nil {
+		return err
+	}
+	if !p2.Cached || p2.OverlayCached {
+		return fmt.Errorf("feedback: expected a structure hit with an overlay re-cost, got cached=%v overlay_cached=%v", p2.Cached, p2.OverlayCached)
+	}
+	rank2, err := p2.OptimalRank()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("feedback: optimal after  = rank %s (estimated cost %.2f)\n", rank2, p2.OptimalCost())
+	start = time.Now()
+	res2, err := p2.ExecuteWith(context.Background(), p2.OptimalPlan(), lim)
+	if err != nil {
+		return err
+	}
+	after := time.Since(start)
+	changed := "unchanged"
+	if rank.Cmp(rank2) != 0 {
+		changed = "CHANGED"
+	}
+	fmt.Printf("feedback: plan choice %s | latency before %v, after %v | rows examined before %d, after %d\n",
+		changed, before.Round(time.Microsecond), after.Round(time.Microsecond),
+		res.Stats.RowsExamined, res2.Stats.RowsExamined)
 	return nil
 }

@@ -133,6 +133,15 @@ type Catalog struct {
 
 	id      uint64
 	version atomic.Uint64
+
+	// The combined version above moves on every change; these two split
+	// it by what the change can invalidate. Schema changes (tables,
+	// columns, indexes) reshape the optimizer's search space itself;
+	// statistics refreshes only move cost estimates around inside an
+	// unchanged space. Structure caches key on schemaVersion, cost
+	// overlays on statsVersion.
+	schemaVersion atomic.Uint64
+	statsVersion  atomic.Uint64
 }
 
 // New returns an empty catalog.
@@ -143,16 +152,42 @@ func New() *Catalog {
 // ID returns the catalog's process-unique identity.
 func (c *Catalog) ID() uint64 { return c.id }
 
-// Version returns the catalog's metadata/statistics version. It starts
-// at zero and only moves forward: Add bumps it for every schema change,
-// and statistics refreshes call BumpVersion. Plan-space caches embed it
-// in their fingerprints, so a bump invalidates every cached space built
-// against the older catalog state.
+// Version returns the catalog's combined metadata/statistics version.
+// It starts at zero and only moves forward: every schema change and
+// every statistics refresh advances it. Callers that can distinguish
+// what a change invalidates use SchemaVersion and StatsVersion instead.
 func (c *Catalog) Version() uint64 { return c.version.Load() }
 
-// BumpVersion advances the version, signaling that table metadata or
-// statistics changed out from under previously optimized plans.
-func (c *Catalog) BumpVersion() uint64 { return c.version.Add(1) }
+// SchemaVersion counts structural changes — tables, columns, and
+// indexes added or altered. A schema bump invalidates the optimizer's
+// search-space structures (the memo shape itself may change).
+func (c *Catalog) SchemaVersion() uint64 { return c.schemaVersion.Load() }
+
+// StatsVersion counts statistics refreshes. A stats bump leaves the
+// search-space structure valid and only invalidates cost overlays
+// (cardinalities, operator costs, the optimal rank).
+func (c *Catalog) StatsVersion() uint64 { return c.statsVersion.Load() }
+
+// BumpStats advances the statistics version (and the combined version),
+// signaling that per-column statistics changed out from under
+// previously costed plans. storage.ComputeStats calls it after every
+// refresh.
+func (c *Catalog) BumpStats() uint64 {
+	c.statsVersion.Add(1)
+	return c.version.Add(1)
+}
+
+// BumpSchema advances the schema version (and the combined version),
+// signaling a structural change that invalidates counted plan spaces.
+// Add calls it for every registered table.
+func (c *Catalog) BumpSchema() uint64 {
+	c.schemaVersion.Add(1)
+	return c.version.Add(1)
+}
+
+// BumpVersion is the legacy combined bump: statistics changed (the
+// common out-of-band case). Kept as an alias for BumpStats.
+func (c *Catalog) BumpVersion() uint64 { return c.BumpStats() }
 
 // Add registers a table. It returns an error on duplicate names or
 // malformed index definitions rather than panicking, so schema bugs in
@@ -183,7 +218,7 @@ func (c *Catalog) Add(t *Table) error {
 	}
 	c.byName[t.Name] = t
 	c.order = append(c.order, t.Name)
-	c.version.Add(1)
+	c.BumpSchema()
 	return nil
 }
 

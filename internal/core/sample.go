@@ -133,6 +133,37 @@ func (smp *Sampler) NextRankInto(dst []uint64) []uint64 {
 	}
 }
 
+// SampleRanksWideInto fills dst with k uniform ranks in [0, N) as
+// fixed-stride little-endian limb rows on the wide tier — the batched,
+// allocation-free analogue of SampleRanks for spaces beyond 2^64. dst
+// must hold at least k × Space.RankLimbs() limbs; row i occupies
+// dst[i*stride : (i+1)*stride], zero-padded above the rank's canonical
+// length (a flat buffer needs a fixed stride; wideNorm recovers the
+// canonical slice). The draws consume the generator exactly like k
+// successive NextRankInto calls, so batch and plan-by-plan sampling
+// yield identical rank streams for one seed.
+func (smp *Sampler) SampleRanksWideInto(dst []uint64, k int) error {
+	if !smp.wide {
+		return fmt.Errorf("core: SampleRanksWideInto on a non-wide-tier sampler; check Wide()")
+	}
+	stride := len(smp.words)
+	if len(dst) < k*stride {
+		return fmt.Errorf("core: SampleRanksWideInto buffer holds %d limbs, %d ranks need %d (k x Space.RankLimbs)",
+			len(dst), k, k*stride)
+	}
+	for i := 0; i < k; i++ {
+		row := dst[i*stride : (i+1)*stride]
+		r := smp.NextRankInto(row)
+		// NextRankInto returns the canonical (possibly shorter) slice;
+		// zero the padding so each fixed-stride row is canonical-plus-
+		// zeros and safe to hand to wideNorm.
+		for j := len(r); j < stride; j++ {
+			row[j] = 0
+		}
+	}
+	return nil
+}
+
 // NextRank returns a uniform rank in [0, N) by rejection sampling on
 // bit-strings of N's length: each draw succeeds with probability > 1/2,
 // so the expected number of draws is below 2.

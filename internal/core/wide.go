@@ -57,6 +57,12 @@ func wideNorm(x []uint64) []uint64 {
 	return x
 }
 
+// WideNorm trims trailing zero limbs to canonical form — the exported
+// helper callers of the flat batch API (SampleRanksWideInto) use to
+// recover each fixed-stride row's canonical slice before handing it to
+// UnrankWideInto.
+func WideNorm(x []uint64) []uint64 { return wideNorm(x) }
+
 // wideCmp compares canonical a and b: -1, 0, or +1.
 func wideCmp(a, b []uint64) int {
 	switch {

@@ -14,13 +14,40 @@ import (
 // child sub-plans; it is the single costing entry point used both by the
 // optimizer's winner computation and by the cost-distribution experiments
 // that cost uniformly sampled plans.
+//
+// A Model reads cardinalities and memoized local costs from an overlay
+// (cost.Tables) when one is attached — the production path, where many
+// costings share one immutable memo — and falls back to the annotation
+// fields on the memo itself (memo.Group.Card, memo.Expr.LocalCost) when
+// built bare with NewModel, the path unit tests and ad-hoc costings use.
 type Model struct {
 	P   Params
 	Est *Estimator
+
+	tab *Tables // nil: read the memo's own annotation fields
 }
 
-// NewModel returns a model bound to an estimator.
+// NewModel returns a model bound to an estimator, reading cardinalities
+// from the memo's annotation fields.
 func NewModel(est *Estimator) *Model { return &Model{P: est.P, Est: est} }
+
+// NewModelWith returns a model reading cardinalities and local costs
+// from the given overlay instead of the memo's fields.
+func NewModelWith(est *Estimator, tab *Tables) *Model {
+	return &Model{P: est.P, Est: est, tab: tab}
+}
+
+// Tables returns the model's overlay (nil for a bare model).
+func (m *Model) Tables() *Tables { return m.tab }
+
+// CardOf returns the estimated output cardinality of a group — from the
+// overlay when present, else the group's annotation field.
+func (m *Model) CardOf(g *memo.Group) float64 {
+	if m.tab != nil {
+		return m.tab.CardOf(g)
+	}
+	return g.Card
+}
 
 // Combine returns the full cost of the plan rooted at e given the full
 // costs of its child sub-plans. For most operators this is local cost
@@ -32,17 +59,21 @@ func (m *Model) Combine(e *memo.Expr, childCosts []float64) (float64, error) {
 		return 0, fmt.Errorf("cost: operator %s has %d children, got %d child costs",
 			e.Name(), len(e.Children), len(childCosts))
 	}
-	local := e.LocalCost
-	if !e.LocalCostValid {
-		// Annotated memos (every optimized space) take the memoized
-		// value; bare expressions (unit tests, ad-hoc costing) derive it.
+	var local float64
+	switch {
+	case m.tab != nil && e.ID < len(m.tab.Locals):
+		local = m.tab.Locals[e.ID]
+	case m.tab == nil && e.LocalCostValid:
+		local = e.LocalCost
+	default:
+		// Bare expressions (unit tests, ad-hoc costing) derive it live.
 		var err error
 		if local, err = m.Local(e); err != nil {
 			return 0, err
 		}
 	}
 	if e.Op == memo.NestedLoopJoin {
-		outer := e.Children[0].Card
+		outer := m.CardOf(e.Children[0])
 		rescans := math.Max(1, outer)
 		return local + childCosts[0] + rescans*childCosts[1], nil
 	}
@@ -57,7 +88,7 @@ func (m *Model) Combine(e *memo.Expr, childCosts []float64) (float64, error) {
 // executes once (the nested-loop rescan multiplier lives in Combine).
 func (m *Model) Local(e *memo.Expr) (float64, error) {
 	p := m.P
-	out := e.Group.Card
+	out := m.CardOf(e.Group)
 	switch e.Op {
 	case memo.TableScan:
 		rel := e.Scan.Rel
@@ -77,8 +108,8 @@ func (m *Model) Local(e *memo.Expr) (float64, error) {
 			visit*float64(len(rel.Filters))*p.CPUEval, nil
 
 	case memo.HashJoin:
-		build := e.Children[0].Card
-		probe := e.Children[1].Card
+		build := m.CardOf(e.Children[0])
+		probe := m.CardOf(e.Children[1])
 		cost := build*p.CPUBuild + probe*p.CPUProbe + out*p.CPUTuple
 		if res := len(e.Join.Residual); res > 0 {
 			cost += probe * float64(res) * p.CPUEval
@@ -89,7 +120,7 @@ func (m *Model) Local(e *memo.Expr) (float64, error) {
 		return cost, nil
 
 	case memo.MergeJoin:
-		l, r := e.Children[0].Card, e.Children[1].Card
+		l, r := m.CardOf(e.Children[0]), m.CardOf(e.Children[1])
 		cost := (l+r)*p.CPUCompare + out*p.CPUTuple
 		if res := len(e.Join.Residual); res > 0 {
 			cost += out * float64(res) * p.CPUEval
@@ -97,7 +128,7 @@ func (m *Model) Local(e *memo.Expr) (float64, error) {
 		return cost, nil
 
 	case memo.NestedLoopJoin:
-		l, r := e.Children[0].Card, e.Children[1].Card
+		l, r := m.CardOf(e.Children[0]), m.CardOf(e.Children[1])
 		preds := 1
 		if e.Join != nil {
 			preds = len(e.Join.Equi) + len(e.Join.Residual)
@@ -111,24 +142,24 @@ func (m *Model) Local(e *memo.Expr) (float64, error) {
 		// One random page probe per outer row plus the matched inner
 		// rows. Beats hash joins for small outers over large inners and
 		// loses badly for large outers — the classic crossover.
-		outer := e.Children[0].Card
+		outer := m.CardOf(e.Children[0])
 		matched := out
 		inner := float64(e.Lookup.Rel.Table.RowCount)
 		probe := p.RandPageCost + math.Log2(inner+2)*p.CPUCompare
 		return outer*probe + matched*p.CPUTuple + matched*p.CPUEval, nil
 
 	case memo.HashAgg:
-		in := e.Children[0].Card
+		in := m.CardOf(e.Children[0])
 		aggs := float64(len(m.Est.Q.Aggs) + len(m.Est.Q.GroupBy))
 		return in*p.CPUBuild + in*aggs*p.CPUEval + out*p.CPUTuple, nil
 
 	case memo.StreamAgg:
-		in := e.Children[0].Card
+		in := m.CardOf(e.Children[0])
 		aggs := float64(len(m.Est.Q.Aggs) + len(m.Est.Q.GroupBy))
 		return in*p.CPUCompare + in*aggs*p.CPUEval + out*p.CPUTuple, nil
 
 	case memo.Sort:
-		return m.sortCost(e.Children[0].Card, e.Children[0]), nil
+		return m.sortCost(m.CardOf(e.Children[0]), e.Children[0]), nil
 
 	case memo.Result:
 		proj := float64(len(m.Est.Q.Projections))
@@ -156,7 +187,7 @@ func (m *Model) sortCost(n float64, g *memo.Group) float64 {
 }
 
 // pages estimates the page footprint of a group's output.
-func (m *Model) pages(g *memo.Group) float64 { return m.pagesFor(g.Card, g) }
+func (m *Model) pages(g *memo.Group) float64 { return m.pagesFor(m.CardOf(g), g) }
 
 func (m *Model) pagesFor(card float64, g *memo.Group) float64 {
 	width := 0.0

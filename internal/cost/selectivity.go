@@ -17,6 +17,14 @@ const (
 	minSelectivity  = 1e-9
 )
 
+// Correction maps a relation subset to a multiplicative cardinality
+// correction factor (1 = no correction). The adaptive feedback loop
+// derives these from observed execution cardinalities: a factor f for
+// set s means "the statistics-based estimate for s should be scaled by
+// f". The function must be safe for concurrent calls and deterministic
+// for the lifetime of the estimator.
+type Correction func(s algebra.RelSet) float64
+
 // Estimator derives cardinalities for every group of a query's memo from
 // base-table statistics. Estimates are properties of a relation subset —
 // independent of join order — so every operator of a group sees the same
@@ -27,6 +35,8 @@ type Estimator struct {
 	Q *algebra.Query
 	P Params
 
+	corr Correction // nil: statistics only
+
 	mu     sync.Mutex
 	byCard map[algebra.RelSet]float64
 }
@@ -36,14 +46,40 @@ func NewEstimator(q *algebra.Query, p Params) *Estimator {
 	return &Estimator{Q: q, P: p, byCard: make(map[algebra.RelSet]float64)}
 }
 
+// SetCorrection installs feedback correction factors. It must be called
+// before the estimator is used (corrected values are memoized); the
+// costing layer installs it at overlay-build time.
+func (e *Estimator) SetCorrection(c Correction) { e.corr = c }
+
+// factor returns the correction for a relation subset (1 when none is
+// installed).
+func (e *Estimator) factor(s algebra.RelSet) float64 {
+	if e.corr == nil {
+		return 1
+	}
+	if f := e.corr(s); f > 0 {
+		return f
+	}
+	return 1
+}
+
 // BaseCard is the estimated row count of base relation i after its
-// pushed-down filters.
+// pushed-down filters, scaled by the feedback correction for {i} when
+// one is installed.
 func (e *Estimator) BaseCard(i int) float64 {
 	rel := e.Q.Rels[i]
 	card := float64(rel.Table.RowCount)
 	for _, f := range rel.Filters {
 		card *= e.PredSelectivity(f)
 	}
+	// Floor before correcting: the feedback loop records ratios against
+	// the floored estimate it actually served (CardOf), so the factor
+	// must compose with that value — correcting the raw sub-1-row
+	// estimate would swallow most of the factor in the floor.
+	if card < 1 {
+		card = 1
+	}
+	card *= e.factor(algebra.SetOf(i))
 	if card < 1 {
 		card = 1
 	}
@@ -52,7 +88,9 @@ func (e *Estimator) BaseCard(i int) float64 {
 
 // SetCard is the estimated cardinality of joining the relations in s:
 // the product of filtered base cardinalities and the selectivities of all
-// join predicates applicable within s. Memoized per subset.
+// join predicates applicable within s, scaled by the feedback correction
+// recorded for exactly s (single-relation corrections propagate through
+// the BaseCard factors). Memoized per subset.
 func (e *Estimator) SetCard(s algebra.RelSet) float64 {
 	e.mu.Lock()
 	c, ok := e.byCard[s]
@@ -68,6 +106,16 @@ func (e *Estimator) SetCard(s algebra.RelSet) float64 {
 		if p.Refs.SubsetOf(s) {
 			card *= e.PredSelectivity(p.Expr)
 		}
+	}
+	// Floor, then correct, then floor again — mirrors BaseCard so the
+	// set-level factor composes with the estimate the feedback loop
+	// observed (single-relation corrections already propagated through
+	// the BaseCard product above).
+	if card < 1 {
+		card = 1
+	}
+	if !s.Single() {
+		card *= e.factor(s)
 	}
 	if card < 1 {
 		card = 1

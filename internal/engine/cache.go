@@ -18,7 +18,7 @@ const DefaultCacheCapacity = 64
 // Counted spaces pin their whole MEMO plus the per-operator count
 // tables, and their sizes vary by orders of magnitude (a single-table
 // query's space is a few KB; Q8 with Cartesian products is MBs), so
-// eviction is driven by estimated bytes (PlanSpace.SizeBytes), with
+// eviction is driven by estimated bytes (StructureSpace.SizeBytes), with
 // the entry cap as a secondary bound.
 const DefaultCacheBytes = 512 << 20
 
@@ -39,7 +39,7 @@ type CacheStats struct {
 	Hits          uint64 `json:"hits"`
 	Misses        uint64 `json:"misses"`
 	Evictions     uint64 `json:"evictions"`     // LRU pressure (entry cap or byte budget)
-	Invalidations uint64 `json:"invalidations"` // catalog version bumps
+	Invalidations uint64 `json:"invalidations"` // catalog schema-version bumps
 	Entries       int    `json:"entries"`
 	Capacity      int    `json:"capacity"`
 	BytesCached   int64  `json:"bytes_cached"` // estimated bytes pinned by ready entries
@@ -60,12 +60,12 @@ type CacheStats struct {
 // (singleflight semantics). After ready closes, space/err are immutable.
 type cacheEntry struct {
 	fp      Fingerprint
-	version uint64 // catalog version the space was built against
+	version uint64 // catalog schema version the space was built against
 	bytes   int64  // estimated size, set when the build completes
 	elem    *list.Element
 
 	ready chan struct{}
-	space *PlanSpace
+	space *StructureSpace
 	err   error
 }
 
@@ -75,12 +75,19 @@ type cacheEntry struct {
 // lock.
 type cacheShard struct {
 	mu       sync.Mutex
+	owner    *SpaceCache
 	cap      int
 	maxBytes int64 // 0 = unlimited
 	bytes    int64 // estimated bytes of ready entries
 	entries  map[Fingerprint]*cacheEntry
 	lru      *list.List // front = most recently used; values are *cacheEntry
-	version  uint64     // newest catalog version observed
+	version  uint64     // newest catalog schema version observed
+
+	// removed accumulates fingerprints dropped while the shard lock is
+	// held; callers drain it after unlocking and notify the cache's
+	// removal listeners (the overlay cache couples overlay lifetime to
+	// structure lifetime through this).
+	removed []Fingerprint
 
 	hits, misses, evictions, invalidations uint64
 }
@@ -92,17 +99,31 @@ type cacheShard struct {
 // concurrent misses for one fingerprint into a single build, evicts
 // least-recently-used spaces beyond its capacity and byte-budget slice,
 // and drops every stale space the moment it observes a newer catalog
-// version (statistics refresh, schema change). A single cache may be
-// shared by any number of Engines and Sessions.
+// schema version (table/column/index changes — a statistics refresh
+// only invalidates cost overlays, never structures). A single cache may
+// be shared by any number of Engines and Sessions.
 type SpaceCache struct {
 	shards []*cacheShard
 
-	// version is the newest catalog version any caller has presented.
+	// version is the newest catalog schema version any caller has presented.
 	// A bump broadcasts invalidation to every shard immediately (see
 	// GetOrBuild) — stale spaces must release their memory promptly,
 	// not only when their own shard next sees traffic — while the
 	// steady state stays a single atomic load per lookup.
 	version atomic.Uint64
+
+	// listeners are notified (outside any shard lock) for every entry
+	// the cache drops — eviction, invalidation, or failed build. The
+	// engine registers its OverlayCache here so cost overlays never
+	// outlive the structure they were built over (an overlay pins its
+	// structure's memo; without the hook an evicted structure would
+	// stay resident, unaccounted, for as long as any overlay cached
+	// over it survived). Registration is keyed so that any number of
+	// engines sharing one (SpaceCache, OverlayCache) pair register a
+	// single listener — repeated engine.New over shared caches must not
+	// grow this map.
+	listenerMu sync.Mutex
+	listeners  map[any]func(Fingerprint)
 }
 
 // NewSpaceCache returns a cache holding at most capacity counted spaces
@@ -134,6 +155,7 @@ func NewSpaceCacheSharded(capacity, shards int) *SpaceCache {
 	perBytes := int64(DefaultCacheBytes) / int64(shards)
 	for i := range c.shards {
 		c.shards[i] = &cacheShard{
+			owner:    c,
 			cap:      per,
 			maxBytes: perBytes,
 			entries:  make(map[Fingerprint]*cacheEntry),
@@ -141,6 +163,56 @@ func NewSpaceCacheSharded(capacity, shards int) *SpaceCache {
 		}
 	}
 	return c
+}
+
+// AddRemoveListener registers fn under key to be called (outside the
+// shard locks) with the fingerprint of every entry the cache drops.
+// Re-registering an existing key replaces its listener instead of
+// accumulating — engine.New uses the engine's OverlayCache as the key,
+// so engine churn over shared caches keeps exactly one listener per
+// distinct overlay cache. RemoveListener drops a key (callers retiring
+// a shared cache's engine should pair the two).
+func (c *SpaceCache) AddRemoveListener(key any, fn func(Fingerprint)) {
+	c.listenerMu.Lock()
+	if c.listeners == nil {
+		c.listeners = make(map[any]func(Fingerprint))
+	}
+	c.listeners[key] = fn
+	c.listenerMu.Unlock()
+}
+
+// RemoveListener unregisters the listener stored under key.
+func (c *SpaceCache) RemoveListener(key any) {
+	c.listenerMu.Lock()
+	delete(c.listeners, key)
+	c.listenerMu.Unlock()
+}
+
+// notifyRemoved fans dropped fingerprints out to the listeners. Must
+// be called without any shard lock held.
+func (c *SpaceCache) notifyRemoved(fps []Fingerprint) {
+	if len(fps) == 0 {
+		return
+	}
+	c.listenerMu.Lock()
+	listeners := make([]func(Fingerprint), 0, len(c.listeners))
+	for _, fn := range c.listeners {
+		listeners = append(listeners, fn)
+	}
+	c.listenerMu.Unlock()
+	for _, fn := range listeners {
+		for _, fp := range fps {
+			fn(fp)
+		}
+	}
+}
+
+// drainRemovedLocked hands back the shard's pending removal
+// notifications (call while holding sh.mu; notify after unlocking).
+func (sh *cacheShard) drainRemovedLocked() []Fingerprint {
+	fps := sh.removed
+	sh.removed = nil
+	return fps
 }
 
 // shardFor routes a fingerprint to its shard by prefix. The fingerprint
@@ -168,7 +240,9 @@ func (c *SpaceCache) SetByteBudget(n int64) {
 		sh.mu.Lock()
 		sh.maxBytes = per
 		sh.evictLocked()
+		removed := sh.drainRemovedLocked()
 		sh.mu.Unlock()
+		c.notifyRemoved(removed)
 	}
 }
 
@@ -233,12 +307,14 @@ func (c *SpaceCache) Invalidate(version uint64) {
 	for _, sh := range c.shards {
 		sh.mu.Lock()
 		sh.invalidateLocked(version)
+		removed := sh.drainRemovedLocked()
 		sh.mu.Unlock()
+		c.notifyRemoved(removed)
 	}
 }
 
 // GetOrBuild returns the space for fp, building it with build on a miss.
-// version is the current catalog version; observing a newer version than
+// version is the current catalog schema version; observing a newer version than
 // any seen before broadcasts invalidation to every shard (an atomic
 // check keeps the no-bump steady state off the other shards' locks).
 // Exactly one caller runs build per miss — every other concurrent
@@ -246,20 +322,22 @@ func (c *SpaceCache) Invalidate(version uint64) {
 // then shares the result (counted spaces are immutable and safe to
 // share). A failed build is not cached: the error is returned to
 // everyone waiting and the next call retries.
-func (c *SpaceCache) GetOrBuild(fp Fingerprint, version uint64, build func() (*PlanSpace, error)) (*PlanSpace, bool, error) {
+func (c *SpaceCache) GetOrBuild(fp Fingerprint, version uint64, build func() (*StructureSpace, error)) (*StructureSpace, bool, error) {
 	if version > c.version.Load() {
 		c.Invalidate(version)
 	}
 	return c.shardFor(fp).getOrBuild(fp, version, build)
 }
 
-func (sh *cacheShard) getOrBuild(fp Fingerprint, version uint64, build func() (*PlanSpace, error)) (*PlanSpace, bool, error) {
+func (sh *cacheShard) getOrBuild(fp Fingerprint, version uint64, build func() (*StructureSpace, error)) (*StructureSpace, bool, error) {
 	sh.mu.Lock()
 	sh.invalidateLocked(version)
 	if e, ok := sh.entries[fp]; ok {
 		sh.hits++
 		sh.lru.MoveToFront(e.elem)
+		removed := sh.drainRemovedLocked()
 		sh.mu.Unlock()
+		sh.owner.notifyRemoved(removed)
 		<-e.ready
 		return e.space, true, e.err
 	}
@@ -268,7 +346,9 @@ func (sh *cacheShard) getOrBuild(fp Fingerprint, version uint64, build func() (*
 	sh.entries[fp] = e
 	sh.misses++
 	sh.evictLocked()
+	removed := sh.drainRemovedLocked()
 	sh.mu.Unlock()
+	sh.owner.notifyRemoved(removed)
 
 	space, err := sh.runBuild(e, build)
 	return space, false, err
@@ -294,11 +374,13 @@ func (sh *cacheShard) invalidateLocked(version uint64) {
 }
 
 // removeLocked drops an entry from the map, the LRU, and the byte
-// accounting (in-flight entries carry zero bytes until they complete).
+// accounting (in-flight entries carry zero bytes until they complete),
+// and queues the removal notification.
 func (sh *cacheShard) removeLocked(e *cacheEntry) {
 	delete(sh.entries, e.fp)
 	sh.lru.Remove(e.elem)
 	sh.bytes -= e.bytes
+	sh.removed = append(sh.removed, e.fp)
 }
 
 // runBuild executes build and completes the entry — on success, on
@@ -306,7 +388,7 @@ func (sh *cacheShard) removeLocked(e *cacheEntry) {
 // entry whose ready channel never closes would wedge every current and
 // future waiter on its fingerprint (net/http recovers handler panics,
 // so the server would otherwise keep running with a poisoned slot).
-func (sh *cacheShard) runBuild(e *cacheEntry, build func() (*PlanSpace, error)) (space *PlanSpace, err error) {
+func (sh *cacheShard) runBuild(e *cacheEntry, build func() (*StructureSpace, error)) (space *StructureSpace, err error) {
 	finished := false
 	defer func() {
 		if !finished {
@@ -331,7 +413,9 @@ func (sh *cacheShard) runBuild(e *cacheEntry, build func() (*PlanSpace, error)) 
 			sh.bytes += e.bytes
 			sh.evictLocked()
 		}
+		removed := sh.drainRemovedLocked()
 		sh.mu.Unlock()
+		sh.owner.notifyRemoved(removed)
 	}()
 	space, err = build()
 	finished = true

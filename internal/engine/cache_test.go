@@ -22,16 +22,16 @@ func fp(b byte) Fingerprint {
 func TestCacheSingleflight(t *testing.T) {
 	c := NewSpaceCache(4)
 	var builds atomic.Int64
-	want := &PlanSpace{}
+	want := &StructureSpace{}
 	const goroutines = 32
 
 	var wg sync.WaitGroup
-	spaces := make([]*PlanSpace, goroutines)
+	spaces := make([]*StructureSpace, goroutines)
 	for i := 0; i < goroutines; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ps, _, err := c.GetOrBuild(fp(1), 1, func() (*PlanSpace, error) {
+			ps, _, err := c.GetOrBuild(fp(1), 1, func() (*StructureSpace, error) {
 				builds.Add(1)
 				time.Sleep(20 * time.Millisecond) // widen the race window
 				return want, nil
@@ -64,10 +64,10 @@ func TestCacheSingleflight(t *testing.T) {
 func TestCacheLRUEviction(t *testing.T) {
 	// One shard: LRU order must be globally exact for this test.
 	c := NewSpaceCacheSharded(2, 1)
-	get := func(b byte) (*PlanSpace, bool) {
+	get := func(b byte) (*StructureSpace, bool) {
 		t.Helper()
-		ps, cached, err := c.GetOrBuild(fp(b), 1, func() (*PlanSpace, error) {
-			return &PlanSpace{}, nil
+		ps, cached, err := c.GetOrBuild(fp(b), 1, func() (*StructureSpace, error) {
+			return &StructureSpace{}, nil
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -102,7 +102,7 @@ func TestCacheErrorNotCached(t *testing.T) {
 	c := NewSpaceCache(2)
 	boom := errors.New("bind failed")
 	var builds int
-	_, _, err := c.GetOrBuild(fp(9), 1, func() (*PlanSpace, error) {
+	_, _, err := c.GetOrBuild(fp(9), 1, func() (*StructureSpace, error) {
 		builds++
 		return nil, boom
 	})
@@ -112,9 +112,9 @@ func TestCacheErrorNotCached(t *testing.T) {
 	if st := c.Stats(); st.Entries != 0 {
 		t.Fatalf("failed build left %d entries", st.Entries)
 	}
-	ps, _, err := c.GetOrBuild(fp(9), 1, func() (*PlanSpace, error) {
+	ps, _, err := c.GetOrBuild(fp(9), 1, func() (*StructureSpace, error) {
 		builds++
-		return &PlanSpace{}, nil
+		return &StructureSpace{}, nil
 	})
 	if err != nil || ps == nil {
 		t.Fatalf("retry failed: %v", err)
@@ -130,7 +130,7 @@ func TestCacheInvalidation(t *testing.T) {
 	// One shard for exact counter expectations; the cross-shard
 	// broadcast case is TestCacheShardedInvalidation.
 	c := NewSpaceCacheSharded(8, 1)
-	build := func() (*PlanSpace, error) { return &PlanSpace{}, nil }
+	build := func() (*StructureSpace, error) { return &StructureSpace{}, nil }
 	if _, _, err := c.GetOrBuild(fp(1), 1, build); err != nil {
 		t.Fatal(err)
 	}
@@ -173,8 +173,8 @@ func TestCachePanicDoesNotWedge(t *testing.T) {
 		// fresh and succeeds — either way it must return promptly
 		// rather than wedge.
 		<-release
-		_, _, err := c.GetOrBuild(fp(5), 1, func() (*PlanSpace, error) {
-			return &PlanSpace{}, nil
+		_, _, err := c.GetOrBuild(fp(5), 1, func() (*StructureSpace, error) {
+			return &StructureSpace{}, nil
 		})
 		waiterErr <- err
 	}()
@@ -184,7 +184,7 @@ func TestCachePanicDoesNotWedge(t *testing.T) {
 				t.Error("panic did not propagate to the building caller")
 			}
 		}()
-		c.GetOrBuild(fp(5), 1, func() (*PlanSpace, error) {
+		c.GetOrBuild(fp(5), 1, func() (*StructureSpace, error) {
 			close(release) // the waiter may now pile on
 			time.Sleep(50 * time.Millisecond)
 			panic("bind exploded")
@@ -196,8 +196,8 @@ func TestCachePanicDoesNotWedge(t *testing.T) {
 		t.Fatal("waiter wedged on a panicked build")
 	}
 	// The slot is free: the next call rebuilds successfully.
-	ps, _, err := c.GetOrBuild(fp(5), 1, func() (*PlanSpace, error) {
-		return &PlanSpace{}, nil
+	ps, _, err := c.GetOrBuild(fp(5), 1, func() (*StructureSpace, error) {
+		return &StructureSpace{}, nil
 	})
 	if err != nil || ps == nil {
 		t.Fatalf("rebuild after panic failed: %v", err)
@@ -210,21 +210,21 @@ func TestCachePanicDoesNotWedge(t *testing.T) {
 // TestCacheByteBudgetEviction: eviction is driven by estimated space
 // bytes, not just entry count. Entry sizes are controlled through the
 // canonical SQL length (SizeBytes = fixed overhead + len(Canonical) for
-// a space-less PlanSpace).
+// a space-less StructureSpace).
 func TestCacheByteBudgetEviction(t *testing.T) {
 	c := NewSpaceCacheSharded(100, 1) // one shard: byte eviction order must be exact
-	entry := func(b byte, canonLen int) (*PlanSpace, bool) {
+	entry := func(b byte, canonLen int) (*StructureSpace, bool) {
 		t.Helper()
-		ps, cached, err := c.GetOrBuild(fp(b), 1, func() (*PlanSpace, error) {
-			return &PlanSpace{Canonical: string(make([]byte, canonLen))}, nil
+		ps, cached, err := c.GetOrBuild(fp(b), 1, func() (*StructureSpace, error) {
+			return &StructureSpace{Canonical: string(make([]byte, canonLen))}, nil
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
 		return ps, cached
 	}
-	one := (&PlanSpace{}).SizeBytes() // size of a zero-canonical entry
-	c.SetByteBudget(2*one + one/2)    // room for two, not three
+	one := (&StructureSpace{}).SizeBytes() // size of a zero-canonical entry
+	c.SetByteBudget(2*one + one/2)         // room for two, not three
 
 	entry(1, 0)
 	entry(2, 0)
@@ -267,7 +267,7 @@ func TestCacheByteBudgetEviction(t *testing.T) {
 func TestCacheBytesAccounting(t *testing.T) {
 	c := NewSpaceCache(8)
 	for b := byte(1); b <= 3; b++ {
-		c.GetOrBuild(fp(b), 1, func() (*PlanSpace, error) { return &PlanSpace{}, nil })
+		c.GetOrBuild(fp(b), 1, func() (*StructureSpace, error) { return &StructureSpace{}, nil })
 	}
 	if st := c.Stats(); st.BytesCached <= 0 {
 		t.Fatalf("no bytes accounted: %+v", st)
@@ -276,7 +276,7 @@ func TestCacheBytesAccounting(t *testing.T) {
 	if st := c.Stats(); st.BytesCached != 0 {
 		t.Errorf("bytes not released on invalidation: %+v", st)
 	}
-	c.GetOrBuild(fp(9), 2, func() (*PlanSpace, error) { return nil, errors.New("boom") })
+	c.GetOrBuild(fp(9), 2, func() (*StructureSpace, error) { return nil, errors.New("boom") })
 	if st := c.Stats(); st.BytesCached != 0 {
 		t.Errorf("failed build left bytes behind: %+v", st)
 	}
@@ -293,10 +293,10 @@ func TestCacheShardDistribution(t *testing.T) {
 	}
 	var fps []Fingerprint
 	for i := 0; i < 32; i++ {
-		fps = append(fps, fingerprintOf(fmt.Sprintf("SELECT %d", i), opt.DefaultOptions(), 1, 1))
+		fps = append(fps, structureFingerprintOf(fmt.Sprintf("SELECT %d", i), opt.DefaultOptions().Rules, 1, 1))
 	}
 	for _, f := range fps {
-		if _, _, err := c.GetOrBuild(f, 1, func() (*PlanSpace, error) { return &PlanSpace{}, nil }); err != nil {
+		if _, _, err := c.GetOrBuild(f, 1, func() (*StructureSpace, error) { return &StructureSpace{}, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -326,7 +326,7 @@ func TestCacheShardDistribution(t *testing.T) {
 	}
 	// Hits route to the same shard and aggregate.
 	for _, f := range fps {
-		if _, cached, _ := c.GetOrBuild(f, 1, func() (*PlanSpace, error) { return &PlanSpace{}, nil }); !cached {
+		if _, cached, _ := c.GetOrBuild(f, 1, func() (*StructureSpace, error) { return &StructureSpace{}, nil }); !cached {
 			t.Fatal("expected a cache hit on reinsertion")
 		}
 	}
@@ -343,10 +343,10 @@ func TestCacheShardedInvalidation(t *testing.T) {
 	c := NewSpaceCacheSharded(64, 8)
 	var fps []Fingerprint
 	for i := 0; i < 24; i++ {
-		fps = append(fps, fingerprintOf(fmt.Sprintf("SELECT %d", i), opt.DefaultOptions(), 1, 1))
+		fps = append(fps, structureFingerprintOf(fmt.Sprintf("SELECT %d", i), opt.DefaultOptions().Rules, 1, 1))
 	}
 	for _, f := range fps {
-		c.GetOrBuild(f, 1, func() (*PlanSpace, error) { return &PlanSpace{}, nil })
+		c.GetOrBuild(f, 1, func() (*StructureSpace, error) { return &StructureSpace{}, nil })
 	}
 	c.Invalidate(2)
 	st := c.Stats()
@@ -357,9 +357,9 @@ func TestCacheShardedInvalidation(t *testing.T) {
 	// request must release stale spaces in every shard, not just the
 	// one its fingerprint hashes to.
 	for _, f := range fps {
-		c.GetOrBuild(f, 2, func() (*PlanSpace, error) { return &PlanSpace{}, nil })
+		c.GetOrBuild(f, 2, func() (*StructureSpace, error) { return &StructureSpace{}, nil })
 	}
-	c.GetOrBuild(fps[0], 3, func() (*PlanSpace, error) { return &PlanSpace{}, nil })
+	c.GetOrBuild(fps[0], 3, func() (*StructureSpace, error) { return &StructureSpace{}, nil })
 	if got := c.Stats().Entries; got != 1 {
 		t.Fatalf("version bump via GetOrBuild left %d stale entries resident, want 1", got)
 	}
@@ -378,15 +378,15 @@ func TestCacheShardedSingleflight(t *testing.T) {
 	var builds atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < 16; i++ {
-		f := fingerprintOf(fmt.Sprintf("SELECT %d", i), opt.DefaultOptions(), 1, 1)
+		f := structureFingerprintOf(fmt.Sprintf("SELECT %d", i), opt.DefaultOptions().Rules, 1, 1)
 		for g := 0; g < 8; g++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				_, _, err := c.GetOrBuild(f, 1, func() (*PlanSpace, error) {
+				_, _, err := c.GetOrBuild(f, 1, func() (*StructureSpace, error) {
 					builds.Add(1)
 					time.Sleep(5 * time.Millisecond)
-					return &PlanSpace{}, nil
+					return &StructureSpace{}, nil
 				})
 				if err != nil {
 					t.Error(err)
@@ -404,13 +404,13 @@ func TestCacheShardedSingleflight(t *testing.T) {
 // still evicts; zero disables byte eviction on every shard.
 func TestCacheShardedByteBudget(t *testing.T) {
 	c := NewSpaceCacheSharded(100, 4)
-	one := (&PlanSpace{}).SizeBytes()
+	one := (&StructureSpace{}).SizeBytes()
 	c.SetByteBudget(4 * (one + one/2)) // about 1.5 entries of budget per shard
 	var fps []Fingerprint
 	for i := 0; i < 40; i++ {
-		f := fingerprintOf(fmt.Sprintf("SELECT %d", i), opt.DefaultOptions(), 1, 1)
+		f := structureFingerprintOf(fmt.Sprintf("SELECT %d", i), opt.DefaultOptions().Rules, 1, 1)
 		fps = append(fps, f)
-		c.GetOrBuild(f, 1, func() (*PlanSpace, error) { return &PlanSpace{}, nil })
+		c.GetOrBuild(f, 1, func() (*StructureSpace, error) { return &StructureSpace{}, nil })
 	}
 	st := c.Stats()
 	if st.Evictions == 0 {
@@ -424,7 +424,7 @@ func TestCacheShardedByteBudget(t *testing.T) {
 	c.SetByteBudget(0)
 	before := c.Stats().Evictions
 	for _, f := range fps[:8] {
-		c.GetOrBuild(f, 1, func() (*PlanSpace, error) { return &PlanSpace{}, nil })
+		c.GetOrBuild(f, 1, func() (*StructureSpace, error) { return &StructureSpace{}, nil })
 	}
 	if after := c.Stats().Evictions; after != before {
 		t.Fatalf("byte eviction ran with budget disabled: %d -> %d", before, after)

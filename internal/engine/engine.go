@@ -4,19 +4,32 @@
 // OPTION (USEPLAN n) extension (Section 4), or plans drawn by uniform
 // sampling (Section 5).
 //
-// Preparation is a staged, cache-aware pipeline rather than a one-shot
-// call:
+// Preparation is a staged, cache-aware pipeline over TWO cached layers:
 //
-//	parse → fingerprint → SpaceCache lookup → [bind → optimize → count]
+//	parse → structure fingerprint → SpaceCache  → [bind → expand → count]
+//	      → overlay  fingerprint  → OverlayCache → [re-cost in place]
 //
-// The bracketed stages — the dominant cost for repeated queries — run
-// only on a cache miss. The cache key is a canonical fingerprint of
-// (normalized SQL, rule config, cost parameters, catalog id + version),
-// so every input that could change the counted space changes the key,
-// and a catalog/statistics bump invalidates all older spaces. Sessions
-// are the unit of configuration: an Engine owns the database and the
-// shared SpaceCache, a Session owns one rule/cost configuration, and
-// Session.Prepare is the single preparation path in the codebase —
+// The structure layer — the bound query, the expanded MEMO, and the
+// counted space with its unrank tables — depends only on the canonical
+// SQL, the rule configuration, and the catalog schema, so it survives
+// every cost-side change. The overlay layer — per-group cardinalities,
+// per-operator costs, the optimal plan and its rank — depends
+// additionally on the cost parameters, the catalog statistics version,
+// and the feedback epoch. A statistics refresh or an applied feedback
+// round therefore re-costs a cached structure in place (milliseconds)
+// instead of re-preparing it (parse, bind, optimize, count).
+//
+// The feedback epoch is what closes the adaptive re-optimization loop:
+// executions record (operator, estimated vs. observed cardinality)
+// pairs into the engine's feedback.Store; ApplyFeedback folds them into
+// correction factors and bumps the epoch, invalidating exactly the
+// overlay tier — so the next Execute of the same query re-costs, may
+// select a different optimal plan, and runs it, without ever
+// re-enumerating the space.
+//
+// Sessions are the unit of configuration: an Engine owns the database
+// and the shared caches, a Session owns one rule/cost configuration,
+// and Session.Prepare is the single preparation path in the codebase —
 // Engine.Prepare, the experiments, the CLIs, and the plan-space server
 // all go through it.
 package engine
@@ -31,6 +44,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/exec"
+	"repro/internal/feedback"
+	"repro/internal/memo"
 	"repro/internal/opt"
 	"repro/internal/plan"
 	"repro/internal/rules"
@@ -40,8 +55,10 @@ import (
 
 // settings collects everything Options can configure.
 type settings struct {
-	opts  opt.Options
-	cache *SpaceCache
+	opts     opt.Options
+	cache    *SpaceCache
+	overlays *OverlayCache
+	fb       *feedback.Store
 }
 
 // Option configures an Engine (and, for the optimizer-facing options,
@@ -64,24 +81,44 @@ func WithCostParams(p cost.Params) Option {
 	return func(s *settings) { s.opts.Params = p }
 }
 
-// WithCache makes the engine serve prepared spaces out of c instead of a
-// private cache — the way several engines over one database (or one
-// database under several rule configs) share counting work. Ignored by
-// Engine.Session, where the engine's cache is already fixed.
+// WithCache makes the engine serve prepared structures out of c instead
+// of a private cache — the way several engines over one database (or one
+// database under several rule configs) share counting work. Engines
+// sharing a structure cache should share an overlay cache too
+// (WithOverlayCache): the overlay-lifetime listener is registered per
+// overlay cache, and pairing the two keeps one listener per shared
+// cache regardless of engine churn. Ignored by Engine.Session, where
+// the engine's cache is already fixed.
 func WithCache(c *SpaceCache) Option {
 	return func(s *settings) { s.cache = c }
 }
 
-// Engine plans and executes queries over one database. It owns the
-// SpaceCache shared by all sessions derived from it.
-type Engine struct {
-	db    *storage.DB
-	opts  opt.Options
-	cache *SpaceCache
+// WithOverlayCache injects a shared cost-overlay cache.
+func WithOverlayCache(c *OverlayCache) Option {
+	return func(s *settings) { s.overlays = c }
 }
 
-// New returns an engine over db with the default full rule set and a
-// private space cache (inject one with WithCache to share).
+// WithFeedbackStore injects a shared feedback store (engines over one
+// catalog should share one store; the default is a private store per
+// engine).
+func WithFeedbackStore(fb *feedback.Store) Option {
+	return func(s *settings) { s.fb = fb }
+}
+
+// Engine plans and executes queries over one database. It owns the
+// structure cache, the overlay cache, and the feedback store shared by
+// all sessions derived from it.
+type Engine struct {
+	db       *storage.DB
+	opts     opt.Options
+	cache    *SpaceCache
+	overlays *OverlayCache
+	fb       *feedback.Store
+}
+
+// New returns an engine over db with the default full rule set and
+// private caches (inject shared ones with WithCache / WithOverlayCache /
+// WithFeedbackStore).
 func New(db *storage.DB, options ...Option) *Engine {
 	s := settings{opts: opt.DefaultOptions()}
 	for _, o := range options {
@@ -90,17 +127,49 @@ func New(db *storage.DB, options ...Option) *Engine {
 	if s.cache == nil {
 		s.cache = NewSpaceCache(DefaultCacheCapacity)
 	}
-	return &Engine{db: db, opts: s.opts, cache: s.cache}
+	if s.overlays == nil {
+		s.overlays = NewOverlayCache(DefaultOverlayCapacity)
+	}
+	if s.fb == nil {
+		s.fb = feedback.NewStore()
+	}
+	// Overlays pin the memo of the structure they cost; dropping them
+	// whenever the structure cache drops the structure keeps the
+	// structure byte budget a real bound on resident memory. The
+	// registration is keyed by the overlay cache, so engines sharing
+	// both caches (the recommended sharing shape) register exactly one
+	// listener no matter how many are created.
+	s.cache.AddRemoveListener(s.overlays, s.overlays.DropStructure)
+	return &Engine{db: db, opts: s.opts, cache: s.cache, overlays: s.overlays, fb: s.fb}
 }
 
 // DB returns the engine's database.
 func (e *Engine) DB() *storage.DB { return e.db }
 
-// Cache returns the engine's space cache (shared by all its sessions).
+// Cache returns the engine's structure cache (shared by all its
+// sessions).
 func (e *Engine) Cache() *SpaceCache { return e.cache }
 
+// Overlays returns the engine's cost-overlay cache.
+func (e *Engine) Overlays() *OverlayCache { return e.overlays }
+
+// Feedback returns the engine's feedback store.
+func (e *Engine) Feedback() *feedback.Store { return e.fb }
+
+// ApplyFeedback folds all recorded execution observations into active
+// correction factors and bumps the feedback epoch, invalidating every
+// cached cost overlay (structures survive untouched). It returns the
+// number of correction keys folded and the new epoch. The next Prepare
+// or Execute of any query re-costs its cached structure under the new
+// corrections and may select a different optimal plan.
+func (e *Engine) ApplyFeedback() (folded int, epoch uint64) {
+	folded, epoch = e.fb.Apply()
+	e.overlays.Invalidate(e.db.Catalog().StatsVersion(), epoch)
+	return folded, epoch
+}
+
 // Session derives a session from the engine: the engine's options plus
-// the given overrides, sharing the engine's database and space cache.
+// the given overrides, sharing the engine's database and caches.
 // Sessions are cheap value holders — create one per client, request, or
 // experiment configuration.
 func (e *Engine) Session(options ...Option) *Session {
@@ -135,7 +204,7 @@ func (e *Engine) Run(sqlText string) (*exec.Result, error) {
 }
 
 // Session is one rule/cost configuration over an engine's database and
-// cache. Its Prepare method is the codebase's single preparation path.
+// caches. Its Prepare method is the codebase's single preparation path.
 type Session struct {
 	engine *Engine
 	opts   opt.Options
@@ -147,41 +216,70 @@ func (s *Session) Engine() *Engine { return s.engine }
 // Options returns the session's optimizer options.
 func (s *Session) Options() opt.Options { return s.opts }
 
-// PlanSpace is the shared, immutable product of the expensive pipeline
-// stages: the bound query, the optimization result, and the counted
-// space. One PlanSpace is safe for any number of concurrent readers
-// (counting, unranking, ranking, costing, explaining); it is what the
-// SpaceCache stores and what every Prepared statement for the same
-// fingerprint shares.
-type PlanSpace struct {
+// StructureSpace is the shared, immutable product of the expensive
+// pipeline stages: the bound query, the expanded MEMO, and the counted
+// space with its unrank tables — everything that depends only on the
+// canonical SQL, the rules, and the catalog schema. One StructureSpace
+// is safe for any number of concurrent readers (counting, unranking,
+// ranking, enumerating); it carries NO costs — those live in the
+// CostOverlay attached on demand — so any number of costings can share
+// it. It is what the SpaceCache stores and what every Prepared
+// statement for the same structure fingerprint shares.
+type StructureSpace struct {
 	Fingerprint Fingerprint
 	Canonical   string // normalized SQL the fingerprint was computed from
 	Query       *algebra.Query
-	Opt         *opt.Result
+	Memo        *memo.Memo
 	Space       *core.Space
+
+	// Struct is the opt-layer view of the same structure; it carries
+	// the shared costing skeleton, so every re-cost over this space
+	// skips the ordering-context analysis.
+	Struct *opt.Structure
 }
 
-// build runs the cache-miss stages: bind, optimize, count.
-func (s *Session) build(canonical string, stmt *sql.SelectStmt, fp Fingerprint) (*PlanSpace, error) {
+// buildStructure runs the structure-miss stages: bind, expand, count.
+func (s *Session) buildStructure(canonical string, stmt *sql.SelectStmt, fp Fingerprint) (*StructureSpace, error) {
 	q, err := algebra.Build(stmt, s.engine.db.Catalog())
 	if err != nil {
 		return nil, err
 	}
-	res, err := opt.Optimize(q, s.opts)
+	st, err := opt.BuildStructure(q, s.opts.Rules)
 	if err != nil {
 		return nil, err
 	}
-	space, err := core.Prepare(res.Memo)
+	space, err := core.Prepare(st.Memo)
 	if err != nil {
 		return nil, err
 	}
-	return &PlanSpace{Fingerprint: fp, Canonical: canonical, Query: q, Opt: res, Space: space}, nil
+	return &StructureSpace{Fingerprint: fp, Canonical: canonical, Query: q, Memo: st.Memo, Space: space, Struct: st}, nil
+}
+
+// recost runs the overlay-miss stage over an existing structure:
+// estimate cardinalities (under the given immutable feedback view —
+// the one whose epoch is baked into ofp, NOT the store's live factors,
+// which a concurrent Apply may already have advanced), derive operator
+// costs, solve for the optimal plan, and rank it. This is the cheap
+// path a statistics refresh, cost-parameter change, or feedback
+// application pays instead of a full Prepare.
+func (s *Session) recost(ss *StructureSpace, ofp Fingerprint, epoch uint64, view map[string]float64) (*CostOverlay, error) {
+	costing, err := ss.Struct.Cost(s.opts.Params, corrector(ss.Query, view))
+	if err != nil {
+		return nil, err
+	}
+	rank, err := ss.Space.Rank(costing.Best)
+	if err != nil {
+		return nil, err
+	}
+	return &CostOverlay{Fingerprint: ofp, Structure: ss, Costing: costing, Epoch: epoch, OptimalRank: rank}, nil
 }
 
 // Prepare runs the staged pipeline. Parsing and fingerprinting always
-// run; binding, optimization, and counting run only when the fingerprint
-// misses the cache. Concurrent calls for one fingerprint share a single
-// build, and all Prepared statements for it share one PlanSpace.
+// run; binding, expansion, and counting run only when the structure
+// fingerprint misses the SpaceCache, and costing runs only when the
+// overlay fingerprint misses the OverlayCache. Concurrent calls for one
+// fingerprint share a single build at each layer, and all Prepared
+// statements for it share one StructureSpace and one CostOverlay.
 func (s *Session) Prepare(sqlText string) (*Prepared, error) {
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
@@ -193,31 +291,49 @@ func (s *Session) Prepare(sqlText string) (*Prepared, error) {
 	// reading twice could race a concurrent bump and record the entry
 	// under a version newer than its fingerprint encodes, pinning a
 	// dead space in the LRU (no future caller recomputes that key).
-	version := cat.Version()
-	fp := fingerprintOf(canonical, s.opts, cat.ID(), version)
-	ps, cached, err := s.engine.cache.GetOrBuild(fp, version, func() (*PlanSpace, error) {
-		return s.build(canonical, stmt, fp)
+	schemaV := cat.SchemaVersion()
+	sfp := structureFingerprintOf(canonical, s.opts.Rules, cat.ID(), schemaV)
+	ss, sCached, err := s.engine.cache.GetOrBuild(sfp, schemaV, func() (*StructureSpace, error) {
+		return s.buildStructure(canonical, stmt, sfp)
 	})
 	if err != nil {
 		return nil, err
 	}
+
+	// Same single-read discipline for the overlay's inputs. The epoch
+	// and its factor view come out of the store atomically: costing
+	// with the live factors instead would let an ApplyFeedback that
+	// lands mid-build cache a costing under a fingerprint whose epoch
+	// it does not match.
+	statsV := cat.StatsVersion()
+	epoch, view := s.engine.fb.EpochView()
+	ofp := overlayFingerprintOf(sfp, s.opts.Params, statsV, epoch)
+	ov, oCached, err := s.engine.overlays.GetOrBuild(ofp, sfp, statsV, epoch, func() (*CostOverlay, error) {
+		return s.recost(ss, ofp, epoch, view)
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	p := &Prepared{
-		SQL:    sqlText,
-		Stmt:   stmt,
-		Query:  ps.Query,
-		Opt:    ps.Opt,
-		Space:  ps.Space,
-		Shared: ps,
-		Cached: cached,
-		engine: s.engine,
+		SQL:           sqlText,
+		Stmt:          stmt,
+		Query:         ss.Query,
+		Opt:           opt.NewResult(ss.Struct, ov.Costing),
+		Space:         ss.Space,
+		Shared:        ss,
+		Overlay:       ov,
+		Cached:        sCached,
+		OverlayCached: oCached,
+		engine:        s.engine,
 	}
 	if stmt.Option != nil {
 		n, ok := new(big.Int).SetString(stmt.Option.UsePlan, 10)
 		if !ok {
 			return nil, fmt.Errorf("engine: invalid USEPLAN number %q", stmt.Option.UsePlan)
 		}
-		if n.Sign() < 0 || n.Cmp(ps.Space.Count()) >= 0 {
-			return nil, fmt.Errorf("engine: USEPLAN %s out of range: query has %s plans", n, ps.Space.Count())
+		if n.Sign() < 0 || n.Cmp(ss.Space.Count()) >= 0 {
+			return nil, fmt.Errorf("engine: USEPLAN %s out of range: query has %s plans", n, ss.Space.Count())
 		}
 		p.UsePlan = n
 	}
@@ -226,9 +342,10 @@ func (s *Session) Prepare(sqlText string) (*Prepared, error) {
 
 // Prepared is a parsed, optimized, and counted query: the frozen search
 // space plus the optimal plan, ready for counting, unranking, sampling,
-// and execution. Query, Opt, and Space alias the shared PlanSpace —
-// they are immutable and may be shared with every other Prepared of the
-// same fingerprint.
+// and execution. Query and Space alias the shared StructureSpace; Opt
+// presents the shared CostOverlay through the classic opt.Result
+// surface — both layers are immutable and may be shared with every
+// other Prepared of the same fingerprints.
 type Prepared struct {
 	SQL   string
 	Stmt  *sql.SelectStmt
@@ -236,11 +353,16 @@ type Prepared struct {
 	Opt   *opt.Result
 	Space *core.Space
 
-	// Shared is the cached PlanSpace this statement runs against;
-	// Cached reports whether Prepare found it in the cache (false when
-	// this call built it).
-	Shared *PlanSpace
-	Cached bool
+	// Shared is the cached StructureSpace this statement runs against;
+	// Overlay is the cached cost overlay attached to it. Cached reports
+	// whether Prepare found the structure in the cache (false when this
+	// call built it); OverlayCached the same for the overlay — a
+	// (Cached, !OverlayCached) statement paid a cheap re-cost, not a
+	// full Prepare.
+	Shared        *StructureSpace
+	Overlay       *CostOverlay
+	Cached        bool
+	OverlayCached bool
 
 	// UsePlan is the plan number from OPTION (USEPLAN n), nil if absent.
 	UsePlan *big.Int
@@ -251,8 +373,12 @@ type Prepared struct {
 // Engine returns the engine this statement was prepared against.
 func (p *Prepared) Engine() *Engine { return p.engine }
 
-// Fingerprint returns the canonical identity of the statement's space.
+// Fingerprint returns the canonical identity of the statement's
+// structure (the counted space).
 func (p *Prepared) Fingerprint() Fingerprint { return p.Shared.Fingerprint }
+
+// OverlayFingerprint returns the identity of the statement's costing.
+func (p *Prepared) OverlayFingerprint() Fingerprint { return p.Overlay.Fingerprint }
 
 // Count returns the number of execution plans in the space.
 func (p *Prepared) Count() *big.Int { return p.Space.Count() }
@@ -272,7 +398,8 @@ func (p *Prepared) CountUint64() (uint64, bool) { return p.Space.CountUint64() }
 // Unrank64 returns plan number r on the uint64 fast path.
 func (p *Prepared) Unrank64(r uint64) (*plan.Node, error) { return p.Space.Unrank64(r) }
 
-// OptimalPlan returns the optimizer's chosen plan.
+// OptimalPlan returns the optimizer's chosen plan under the current
+// costing.
 func (p *Prepared) OptimalPlan() *plan.Node { return p.Opt.Best }
 
 // OptimalCost returns the optimizer's estimate for its chosen plan; the
@@ -280,8 +407,9 @@ func (p *Prepared) OptimalPlan() *plan.Node { return p.Opt.Best }
 func (p *Prepared) OptimalCost() float64 { return p.Opt.BestCost }
 
 // OptimalRank answers "what number does the optimizer's own choice
-// carry?" by ranking the optimal plan.
-func (p *Prepared) OptimalRank() (*big.Int, error) { return p.Space.Rank(p.Opt.Best) }
+// carry?". The rank is precomputed at overlay build; callers must not
+// mutate it.
+func (p *Prepared) OptimalRank() (*big.Int, error) { return p.Overlay.OptimalRank, nil }
 
 // Unrank returns plan number r.
 func (p *Prepared) Unrank(r *big.Int) (*plan.Node, error) { return p.Space.Unrank(r) }
@@ -325,14 +453,21 @@ func (p *Prepared) ScaledCostWith(n *plan.Node, buf *plan.CostBuf) (float64, err
 // with no resource limits (the trusted-caller path). Governed execution
 // goes through ExecuteWith or Session.Execute.
 func (p *Prepared) Execute(n *plan.Node) (*exec.Result, error) {
-	return exec.Run(n, p.engine.db, p.Query)
+	return p.ExecuteWith(context.Background(), n, exec.Options{})
 }
 
 // ExecuteWith runs a specific plan from this query's space under ctx
 // and the given Governor limits. Limit terminations come back as a
-// truncated Result with nil error (see exec.RunWithOptions).
+// truncated Result with nil error (see exec.RunWithOptions). Completed
+// (non-truncated) executions record their observed per-operator
+// cardinalities into the engine's feedback store; the corrections take
+// effect only when ApplyFeedback folds them.
 func (p *Prepared) ExecuteWith(ctx context.Context, n *plan.Node, opts exec.Options) (*exec.Result, error) {
-	return exec.RunWithOptions(ctx, n, p.engine.db, p.Query, opts)
+	res, err := exec.RunWithOptions(ctx, n, p.engine.db, p.Query, opts)
+	if err == nil {
+		p.engine.recordExecution(p, res)
+	}
+	return res, err
 }
 
 // ChosenPlan returns the plan the statement selects: plan UsePlan when
@@ -360,8 +495,9 @@ type ExecOptions struct {
 }
 
 // Execution is the product of Session.Execute: the prepared statement
-// (riding the fingerprint cache exactly like Prepare), the plan that
-// actually ran — identified by rank — and the governed result.
+// (riding the two-tier fingerprint cache exactly like Prepare), the
+// plan that actually ran — identified by rank — and the governed
+// result.
 type Execution struct {
 	Prepared   *Prepared
 	Rank       *big.Int
@@ -370,13 +506,16 @@ type Execution struct {
 	Result     *exec.Result
 }
 
-// Execute parses, prepares (through the SpaceCache — repeated
-// executions of one query pay optimization and counting once), resolves
-// the plan the statement selects, and runs it under the given limits.
-// The resolution order is ExecOptions.Rank, then OPTION (USEPLAN n) in
-// the SQL, then the optimizer's choice. Limit terminations return an
-// Execution whose Result is truncated (Result.Stats.Truncated) with a
-// nil error; a nil ctx is treated as context.Background().
+// Execute parses, prepares (through the structure and overlay caches —
+// repeated executions of one query pay optimization and counting once,
+// and re-costing only when statistics or feedback moved), resolves the
+// plan the statement selects, and runs it under the given limits. The
+// resolution order is ExecOptions.Rank, then OPTION (USEPLAN n) in the
+// SQL, then the optimizer's (possibly re-optimized) choice. Completed
+// executions feed observed cardinalities back into the engine's
+// feedback store. Limit terminations return an Execution whose Result
+// is truncated (Result.Stats.Truncated) with a nil error; a nil ctx is
+// treated as context.Background().
 func (s *Session) Execute(ctx context.Context, sqlText string, opts ExecOptions) (*Execution, error) {
 	p, err := s.Prepare(sqlText)
 	if err != nil {

@@ -4,8 +4,25 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/memo"
 	"repro/internal/plan"
 )
+
+// ExportJSON serializes the statement's counted space with the current
+// overlay's cost annotations (cards and local costs live in the cost
+// overlay, not in the shared memo).
+func (p *Prepared) ExportJSON() ([]byte, error) {
+	c := p.Overlay.Costing
+	return p.Space.ExportJSONAnnotated(
+		c.CardOf,
+		func(e *memo.Expr) float64 {
+			if e.ID < len(c.Tables.Locals) {
+				return c.Tables.Locals[e.ID]
+			}
+			return 0
+		},
+	)
+}
 
 // Explain renders a plan as an EXPLAIN-style tree: one line per operator
 // with the operator's paper-style name, its estimated output rows (a
@@ -31,7 +48,7 @@ func (p *Prepared) explainNode(sb *strings.Builder, n *plan.Node, depth int) err
 	}
 	fmt.Fprintf(sb, "%s%-6s %-32s rows=%-10.0f cost=%-12.2f self=%.2f",
 		strings.Repeat("  ", depth), n.Expr.Name(), n.Expr.Describe(),
-		n.Expr.Group.Card, subtree, local)
+		p.Opt.Model.CardOf(n.Expr.Group), subtree, local)
 	if !n.Expr.Delivered.IsNone() {
 		fmt.Fprintf(sb, " delivers=%s", n.Expr.Delivered)
 	}

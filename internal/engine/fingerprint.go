@@ -5,18 +5,34 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"sync"
 
-	"repro/internal/opt"
+	"repro/internal/cost"
+	"repro/internal/rules"
 	"repro/internal/sql"
 )
 
-// Fingerprint is the canonical identity of a plan space: a digest of the
-// normalized query text together with everything else that determines
-// the counted space — the rule configuration (which operators exist),
-// the cost-model parameters (which plan wins and what sampled plans
-// cost), and the catalog identity + version (schema and statistics).
-// Two Prepare calls with equal fingerprints are guaranteed to produce
-// the same space, which is what makes the SpaceCache sound.
+// Fingerprint is a canonical SHA-256 identity. The engine uses two
+// layers of them, mirroring the two cached layers of a prepared query:
+//
+//   - The structure fingerprint digests everything that determines the
+//     counted search space — the normalized query text, the rule
+//     configuration (which operators exist), and the catalog identity +
+//     schema version (which tables, columns, and indexes exist). Cost
+//     parameters and statistics deliberately do NOT participate: the
+//     paper's counting/unranking machinery depends only on query shape
+//     and rules, so a cost-model change must not rebuild the space.
+//
+//   - The overlay fingerprint digests the structure fingerprint plus
+//     everything that determines costing over that structure — cost
+//     parameters, the catalog statistics version, and the feedback
+//     epoch. A statistics refresh or a feedback application changes
+//     only this layer; the structure (memo, counts, unrank tables)
+//     survives and is re-costed in place.
+//
+// Two Prepare calls with equal fingerprints at both layers are
+// guaranteed to produce the same space and the same costing, which is
+// what makes the two-tier cache sound.
 type Fingerprint [sha256.Size]byte
 
 // String renders the fingerprint as hex — the form served by the HTTP
@@ -38,29 +54,67 @@ func canonicalSQL(stmt *sql.SelectStmt) string {
 	return bare.String()
 }
 
-// fingerprintOf digests the canonical query text with the option set and
-// catalog state. The encoding is versioned ("fp1") so a change to the
-// scheme cannot collide with digests from an older layout, and every
-// variable-length field is length-prefixed to keep the encoding
-// injective. Rule and cost configurations are flat scalar structs, so
-// their %#v rendering is deterministic and automatically picks up any
-// field added later.
-func fingerprintOf(canonical string, opts opt.Options, catalogID, catalogVersion uint64) Fingerprint {
-	h := sha256.New()
-	var num [8]byte
-	writeStr := func(s string) {
-		binary.LittleEndian.PutUint64(num[:], uint64(len(s)))
-		h.Write(num[:])
-		h.Write([]byte(s))
+// hashWriter accumulates length-prefixed fields into a SHA-256 digest;
+// the length prefixes keep the encoding injective.
+type hashWriter struct {
+	h   interface{ Write([]byte) (int, error) }
+	num [8]byte
+}
+
+func (w *hashWriter) str(s string) {
+	binary.LittleEndian.PutUint64(w.num[:], uint64(len(s)))
+	w.h.Write(w.num[:])
+	w.h.Write([]byte(s))
+}
+
+func (w *hashWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.num[:], v)
+	w.h.Write(w.num[:])
+}
+
+// reprCache memoizes the %#v renderings of the flat, comparable config
+// structs that enter fingerprints. Rendering them with fmt on every
+// Prepare was a visible slice of the re-cost path; the distinct config
+// count in a process is tiny, so an unbounded map is safe.
+var reprCache sync.Map // comparable config value → string
+
+func reprOf(v any) string {
+	if s, ok := reprCache.Load(v); ok {
+		return s.(string)
 	}
-	writeStr("fp1")
-	writeStr(canonical)
-	writeStr(fmt.Sprintf("%#v", opts.Rules))
-	writeStr(fmt.Sprintf("%#v", opts.Params))
-	binary.LittleEndian.PutUint64(num[:], catalogID)
-	h.Write(num[:])
-	binary.LittleEndian.PutUint64(num[:], catalogVersion)
-	h.Write(num[:])
+	s := fmt.Sprintf("%#v", v)
+	reprCache.Store(v, s)
+	return s
+}
+
+// structureFingerprintOf digests the inputs of the structure layer. The
+// encoding is versioned ("fps1") so a change to the scheme cannot
+// collide with digests from an older layout. The rule configuration is
+// a flat scalar struct, so its %#v rendering is deterministic and
+// automatically picks up any field added later.
+func structureFingerprintOf(canonical string, r rules.Config, catalogID, schemaVersion uint64) Fingerprint {
+	h := sha256.New()
+	w := &hashWriter{h: h}
+	w.str("fps1")
+	w.str(canonical)
+	w.str(reprOf(r))
+	w.u64(catalogID)
+	w.u64(schemaVersion)
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}
+
+// overlayFingerprintOf digests the inputs of the costing layer on top
+// of a structure fingerprint ("fpo1").
+func overlayFingerprintOf(structure Fingerprint, p cost.Params, statsVersion, feedbackEpoch uint64) Fingerprint {
+	h := sha256.New()
+	w := &hashWriter{h: h}
+	w.str("fpo1")
+	h.Write(structure[:])
+	w.str(reprOf(p))
+	w.u64(statsVersion)
+	w.u64(feedbackEpoch)
 	var f Fingerprint
 	h.Sum(f[:0])
 	return f

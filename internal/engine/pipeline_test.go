@@ -106,9 +106,12 @@ func TestConcurrentPrepareSingleCount(t *testing.T) {
 	}
 }
 
-// TestCatalogBumpInvalidatesSpaces: a catalog/statistics version bump
-// makes the next Prepare rebuild instead of serving the stale space.
-func TestCatalogBumpInvalidatesSpaces(t *testing.T) {
+// TestCatalogBumpInvalidatesTiers: the two cache tiers split what a
+// catalog change invalidates. A statistics bump (BumpVersion /
+// BumpStats — what storage.ComputeStats issues) leaves the counted
+// structure cached and only forces a re-cost; a schema bump rebuilds
+// the structure itself.
+func TestCatalogBumpInvalidatesTiers(t *testing.T) {
 	// Private database: bumping the shared test fixture's catalog would
 	// leak invalidations into other tests.
 	db := freshTinyTPCH(t)
@@ -117,26 +120,73 @@ func TestCatalogBumpInvalidatesSpaces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+
+	// Statistics refresh: structure survives, overlay is re-costed.
 	db.Catalog().BumpVersion()
 	p2, err := e.Prepare(smallJoin)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p2.Cached {
-		t.Error("Prepare after catalog bump served the stale space")
+	if !p2.Cached || p1.Space != p2.Space || p1.Shared != p2.Shared {
+		t.Error("stats bump rebuilt the structure; it should only re-cost")
 	}
-	if p1.Space == p2.Space {
-		t.Error("space not rebuilt after catalog bump")
+	if p2.OverlayCached || p1.Overlay == p2.Overlay {
+		t.Error("stats bump served the stale cost overlay")
 	}
-	if p1.Fingerprint() == p2.Fingerprint() {
-		t.Error("fingerprint ignores the catalog version")
+	if p1.OverlayFingerprint() == p2.OverlayFingerprint() {
+		t.Error("overlay fingerprint ignores the statistics version")
+	}
+	if st := e.Overlays().Stats(); st.Invalidations != 1 {
+		t.Errorf("overlay invalidations = %d, want 1", st.Invalidations)
+	}
+
+	// Schema change: the structure itself is stale.
+	db.Catalog().BumpSchema()
+	p3, err := e.Prepare(smallJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Cached {
+		t.Error("Prepare after schema bump served the stale structure")
+	}
+	if p2.Space == p3.Space {
+		t.Error("space not rebuilt after schema bump")
+	}
+	if p2.Fingerprint() == p3.Fingerprint() {
+		t.Error("structure fingerprint ignores the schema version")
 	}
 	if st := e.Cache().Stats(); st.Invalidations != 1 {
-		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+		t.Errorf("structure invalidations = %d, want 1", st.Invalidations)
 	}
 	// The counts agree — the space is equivalent, just recounted.
-	if p1.Count().Cmp(p2.Count()) != 0 {
-		t.Errorf("recounted space has %s plans, was %s", p2.Count(), p1.Count())
+	if p1.Count().Cmp(p3.Count()) != 0 {
+		t.Errorf("recounted space has %s plans, was %s", p3.Count(), p1.Count())
+	}
+}
+
+// TestStructureEvictionDropsOverlays: a cost overlay pins the memo of
+// the structure it costs, so when the structure cache evicts a
+// structure its overlays must go too — otherwise the structure byte
+// budget would not bound resident memory.
+func TestStructureEvictionDropsOverlays(t *testing.T) {
+	// Single-entry, single-shard structure cache: the second query
+	// evicts the first query's structure.
+	e := engine.New(tinyTPCH(t), engine.WithCache(engine.NewSpaceCacheSharded(1, 1)))
+	if _, err := e.Prepare(smallJoin); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Overlays().Stats(); st.Entries != 1 {
+		t.Fatalf("overlay entries after first Prepare = %d, want 1", st.Entries)
+	}
+	if _, err := e.Prepare("SELECT r_name FROM region ORDER BY r_name"); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Overlays().Stats()
+	if st.Entries != 1 {
+		t.Errorf("overlay entries after structure eviction = %d, want 1 (evicted structure's overlay dropped)", st.Entries)
+	}
+	if st.Invalidations == 0 {
+		t.Error("structure eviction did not drop its overlay")
 	}
 }
 

@@ -1,23 +1,51 @@
 package engine
 
-// planSpaceOverhead approximates what a cached PlanSpace pins beyond
-// the counted space itself: the bound algebra query, the optimizer
-// result (best plan, cost model, estimator state), and bookkeeping.
-const planSpaceOverhead = 8 << 10
+// Per-layer fixed overheads. Exact sizeofs are not the point — the
+// caches' byte accounting needs consistent, monotone estimates, and
+// crucially the two layers must not double-count: the structure prices
+// the memo and the counted space, the overlay prices only its own cost
+// tables and winner memo.
+const (
+	structureOverhead = 8 << 10 // bound query + bookkeeping
+	overlayOverhead   = 2 << 10 // estimator, model, costing headers
+	winnerEntryBytes  = 96      // one (group, ordering) winner memo entry
+)
 
-// SizeBytes estimates the resident bytes this PlanSpace pins while
+// SizeBytes estimates the resident bytes this StructureSpace pins while
 // cached: the counted space's link structure and MEMO (the dominant
 // term — see core.Space.MemoryFootprint) plus the canonical SQL and a
-// fixed overhead for the query/optimizer objects. The SpaceCache's
-// byte-budget eviction runs on this estimate.
-func (ps *PlanSpace) SizeBytes() int64 {
-	if ps == nil {
+// fixed overhead for the query object. The SpaceCache's byte-budget
+// eviction runs on this estimate; overlay bytes are accounted
+// separately by the OverlayCache (the /stats endpoint reports
+// structure_bytes and overlay_bytes side by side).
+func (ss *StructureSpace) SizeBytes() int64 {
+	if ss == nil {
 		return 0
 	}
-	var n int64 = planSpaceOverhead
-	n += int64(len(ps.Canonical))
-	if ps.Space != nil {
-		n += ps.Space.MemoryFootprint()
+	var n int64 = structureOverhead
+	n += int64(len(ss.Canonical))
+	if ss.Space != nil {
+		n += ss.Space.MemoryFootprint()
+	}
+	return n
+}
+
+// SizeBytes estimates the resident bytes of a cost overlay: the
+// cardinality and local-cost tables plus the optimal plan's rank. It
+// deliberately excludes the structure it points to — that is priced by
+// StructureSpace.SizeBytes in the structure cache — so the two caches'
+// byte counters add up without double-counting.
+func (ov *CostOverlay) SizeBytes() int64 {
+	if ov == nil {
+		return 0
+	}
+	var n int64 = overlayOverhead
+	if ov.Costing != nil {
+		n += ov.Costing.Tables.MemoryBytes()
+		n += int64(ov.Costing.WinnerCount()) * winnerEntryBytes
+	}
+	if ov.OptimalRank != nil {
+		n += 32 + int64(len(ov.OptimalRank.Bits()))*8
 	}
 	return n
 }

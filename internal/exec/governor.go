@@ -60,14 +60,34 @@ var (
 	ErrWorkBudgetExceeded = errors.New("exec: intermediate row budget exceeded")
 )
 
-// OpStats is one operator's execution counter: the rows it produced.
-// Rows an operator examined but filtered out (scan predicates, join
-// candidates failing the residual predicate) charge the Governor's work
-// budget without appearing in any counter.
+// OpStats is one operator's execution counters: the rows it produced
+// and how many times it was opened. Rows an operator examined but
+// filtered out (scan predicates, join candidates failing the residual
+// predicate) charge the Governor's work budget without appearing in any
+// counter.
+//
+// Opens matters for the adaptive feedback loop: a nested-loop join
+// re-opens its inner child once per outer row, so the inner subtree's
+// Rows counter accumulates across rescans — Rows/Opens is the observed
+// per-execution cardinality, directly comparable to the optimizer's
+// estimate for the operator's group (identified by Group, the
+// memo.Group ID).
 type OpStats struct {
-	Name string `json:"name"` // paper-style "group.local"
-	Op   string `json:"op"`   // operator with payload, e.g. "HashJoin[2 preds]"
-	Rows int64  `json:"rows"`
+	Name  string `json:"name"`  // paper-style "group.local"
+	Op    string `json:"op"`    // operator with payload, e.g. "HashJoin[2 preds]"
+	Group int    `json:"group"` // memo group ID (estimates are per group)
+	Rows  int64  `json:"rows"`
+	Opens int64  `json:"opens"`
+}
+
+// ObservedRows returns the operator's per-open output cardinality —
+// the quantity the feedback loop compares against the estimate.
+func (s *OpStats) ObservedRows() float64 {
+	opens := s.Opens
+	if opens < 1 {
+		opens = 1
+	}
+	return float64(s.Rows) / float64(opens)
 }
 
 // Governor is the shared resource arbiter of one plan execution. Every
@@ -187,7 +207,7 @@ func (g *Governor) Stats() []OpStats {
 // register creates the operator counter for one iterator (called by
 // Build for every node in the tree).
 func (g *Governor) register(e *memo.Expr) *OpStats {
-	s := &OpStats{Name: e.Name(), Op: e.Describe()}
+	s := &OpStats{Name: e.Name(), Op: e.Describe(), Group: e.Group.ID}
 	g.stats = append(g.stats, s)
 	return s
 }
@@ -233,8 +253,12 @@ func (o *opNode) bind(gov *Governor, e *memo.Expr) {
 }
 
 // enter marks the iterator open and runs a governor checkpoint, so
-// Open-time build phases start with a fresh clock/context poll.
+// Open-time build phases start with a fresh clock/context poll. Every
+// Open call — including a nested-loop parent re-opening its inner child
+// per outer row — counts toward the operator's Opens stat; the
+// lifecycle audit (gov.opens) counts only closed→open transitions.
 func (o *opNode) enter() error {
+	o.stat.Opens++
 	if !o.open {
 		o.open = true
 		o.gov.opens++

@@ -370,10 +370,19 @@ func (m *Memo) Stats() Stats {
 
 // Dump renders the memo in a Figure 2-like textual form: one line per
 // group, operators named group.local with child group references.
-func (m *Memo) Dump() string {
+func (m *Memo) Dump() string { return m.DumpAnnotated(nil) }
+
+// DumpAnnotated is Dump with cardinalities injected from a cost
+// overlay (spaces prepared through the engine's two-tier cache carry
+// cards in the overlay, not in the memo). A nil cardOf falls back to
+// the memo's own annotation field.
+func (m *Memo) DumpAnnotated(cardOf func(*Group) float64) string {
+	if cardOf == nil {
+		cardOf = func(g *Group) float64 { return g.Card }
+	}
 	var sb strings.Builder
 	for _, g := range m.Groups {
-		fmt.Fprintf(&sb, "Group %d (%s, rels=%s, card=%.0f):\n", g.ID, g.Kind, g.RelSet, g.Card)
+		fmt.Fprintf(&sb, "Group %d (%s, rels=%s, card=%.0f):\n", g.ID, g.Kind, g.RelSet, cardOf(g))
 		for _, e := range g.Exprs {
 			fmt.Fprintf(&sb, "  %-6s %-28s", e.Name(), e.Describe())
 			if len(e.Children) > 0 {

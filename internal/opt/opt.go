@@ -1,14 +1,25 @@
-// Package opt is the optimizer driver: it expands the search space into a
-// MEMO (internal/rules), annotates groups with estimated cardinalities,
-// computes the cheapest plan per (group, required ordering) by dynamic
-// programming over the MEMO — the paper's "for every group we keep track
-// of the best physical operator for each set of physical properties" —
-// and extracts the optimal plan from the root group.
+// Package opt is the optimizer driver, split along the line the paper's
+// counting machinery implies: the *structure* of the search space (the
+// MEMO expanded by internal/rules) depends only on the query shape, the
+// schema, and the rule configuration, while *costing* (cardinalities,
+// per-operator costs, and the winner computation — "for every group we
+// keep track of the best physical operator for each set of physical
+// properties") depends additionally on cost parameters, statistics, and
+// feedback corrections. BuildStructure produces the former; CostMemo
+// attaches the latter as an immutable overlay (cost.Tables) without
+// mutating the shared memo, so any number of costings — different
+// parameters, different statistics, different feedback epochs — can
+// coexist over one counted structure.
+//
+// Optimize remains the one-shot compatibility path: it builds a private
+// structure, costs it, and additionally writes the classic annotation
+// fields (memo.Group.Card, memo.Expr.LocalCost) into its own memo —
+// safe only because that memo is not shared.
 package opt
 
 import (
 	"fmt"
-	"math"
+	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/cost"
@@ -28,9 +39,163 @@ func DefaultOptions() Options {
 	return Options{Rules: rules.Default(), Params: cost.Default()}
 }
 
-// Result is the outcome of optimizing one query: the expanded MEMO with
-// cardinalities and operator costs filled in, the optimal plan, and the
-// estimator/model needed to cost arbitrary plans from the same space.
+// Structure is the costless half of an optimization: the bound query
+// and the expanded MEMO, plus the lazily built costing skeleton (the
+// ordering-context layout of the winner search, which depends only on
+// the memo). It is immutable once built and safe to share across any
+// number of concurrent costings — the skeleton is built exactly once,
+// so re-costing a cached structure skips all of the context analysis.
+type Structure struct {
+	Query *algebra.Query
+	Memo  *memo.Memo
+
+	skOnce sync.Once
+	sk     *skeleton
+}
+
+// BuildStructure expands the search space for q under the given rule
+// configuration, with no costing.
+func BuildStructure(q *algebra.Query, cfg rules.Config) (*Structure, error) {
+	m, err := rules.BuildMemo(q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Structure{Query: q, Memo: m}, nil
+}
+
+// skeletonOf returns the structure's costing skeleton, building it on
+// first use.
+func (s *Structure) skeletonOf() *skeleton {
+	s.skOnce.Do(func() { s.sk = buildSkeleton(s.Memo) })
+	return s.sk
+}
+
+// Costing is the cost overlay over one structure: per-group estimated
+// cardinalities and per-operator local costs (cost.Tables), the
+// estimator and model bound to them, and the optimal plan. A Costing is
+// immutable after CostMemo returns and safe for concurrent readers.
+type Costing struct {
+	Params cost.Params
+	Est    *cost.Estimator
+	Model  *cost.Model
+	Tables *cost.Tables
+
+	Best     *plan.Node
+	BestCost float64
+
+	memo *memo.Memo
+	sol  *solution
+}
+
+// Cost computes an overlay for the structure under the given parameters
+// and (optionally nil) feedback correction factors, reusing the
+// structure's shared skeleton.
+func (s *Structure) Cost(params cost.Params, corr cost.Correction) (*Costing, error) {
+	return costMemo(s.Query, s.Memo, s.skeletonOf(), params, corr)
+}
+
+// CostMemo computes a cost overlay for an already-expanded memo: fill
+// the cardinality table, fill the local-cost table, then solve for the
+// cheapest plan per (group, ordering context) and extract the optimum
+// from the root group. The shared memo is only read, never written.
+// Callers costing one memo repeatedly should go through Structure.Cost,
+// which reuses the context skeleton across costings.
+func CostMemo(q *algebra.Query, m *memo.Memo, params cost.Params, corr cost.Correction) (*Costing, error) {
+	return costMemo(q, m, buildSkeleton(m), params, corr)
+}
+
+func costMemo(q *algebra.Query, m *memo.Memo, sk *skeleton, params cost.Params, corr cost.Correction) (*Costing, error) {
+	est := cost.NewEstimator(q, params)
+	if corr != nil {
+		est.SetCorrection(corr)
+	}
+	tab := cost.NewTables(m)
+	fillCards(m, est, tab)
+	model := cost.NewModelWith(est, tab)
+	if err := fillLocalCosts(m, model, tab); err != nil {
+		return nil, err
+	}
+
+	c := &Costing{
+		Params: params, Est: est, Model: model, Tables: tab,
+		memo: m,
+		sol: &solution{
+			sk:     sk,
+			cost:   make([]float64, sk.maxExpr+1),
+			ok:     make([]bool, sk.maxExpr+1),
+			node:   make([]*plan.Node, sk.maxExpr+1),
+			win:    make([][]*memo.Expr, len(sk.ctxs)),
+			neBest: make([]*memo.Expr, len(sk.ctxs)),
+		},
+	}
+	if err := c.solve(); err != nil {
+		return nil, err
+	}
+	best := c.sol.win[m.Root.ID][0]
+	if best == nil {
+		return nil, fmt.Errorf("opt: no plan found for root group")
+	}
+	c.Best = c.nodeOf(best)
+	c.BestCost = c.sol.cost[best.ID]
+	return c, nil
+}
+
+// CardOf returns the overlay's estimated output cardinality for a group.
+func (c *Costing) CardOf(g *memo.Group) float64 { return c.Tables.CardOf(g) }
+
+// PlanCost costs an arbitrary plan from this overlay's space — the
+// primitive the cost-distribution experiments apply to every sampled
+// plan, normalizing by BestCost.
+func (c *Costing) PlanCost(n *plan.Node) (float64, error) {
+	return n.Cost(c.Model)
+}
+
+// fillCards sets every group's estimated output cardinality in the
+// overlay table. Cards are properties of the group (relation subset plus
+// operator layer), so every alternative in a group shares them — the
+// invariant the MEMO's costing relies on.
+func fillCards(m *memo.Memo, est *cost.Estimator, tab *cost.Tables) {
+	for _, g := range m.Groups {
+		var card float64
+		switch g.Kind {
+		case memo.GroupScan:
+			card = est.BaseCard(g.RelSet.Indices()[0])
+		case memo.GroupJoin:
+			card = est.SetCard(g.RelSet)
+		case memo.GroupAgg:
+			card = est.AggCard(est.SetCard(g.RelSet))
+		case memo.GroupRoot:
+			// The root projects its child without changing cardinality.
+			if m.Query.HasAgg() {
+				card = est.AggCard(est.SetCard(g.RelSet))
+			} else {
+				card = est.SetCard(g.RelSet)
+			}
+		}
+		tab.Cards[g.ID] = card
+	}
+}
+
+// fillLocalCosts fills each physical operator's local cost in the
+// overlay; plan costs are computed recursively by the model, not by
+// summing these.
+func fillLocalCosts(m *memo.Memo, model *cost.Model, tab *cost.Tables) error {
+	for _, g := range m.Groups {
+		for _, e := range g.Physical {
+			lc, err := model.Local(e)
+			if err != nil {
+				return err
+			}
+			tab.Locals[e.ID] = lc
+		}
+	}
+	return nil
+}
+
+// Result is the outcome of the one-shot Optimize path: the expanded
+// MEMO, the cost overlay's estimator/model, and the optimal plan —
+// the classic façade tests and tools program against. The Costing field
+// exposes the overlay itself.
 type Result struct {
 	Query *algebra.Query
 	Memo  *memo.Memo
@@ -40,219 +205,52 @@ type Result struct {
 	Best     *plan.Node
 	BestCost float64
 
-	winners map[winnerKey]*winner
+	Costing *Costing
 }
 
-// Optimize expands, costs, and solves the search space for q.
+// NewResult assembles the façade over a structure and a costing (the
+// engine's two-tier cache uses it to present cached layers through the
+// classic Result surface).
+func NewResult(st *Structure, c *Costing) *Result {
+	return &Result{
+		Query: st.Query, Memo: st.Memo,
+		Est: c.Est, Model: c.Model,
+		Best: c.Best, BestCost: c.BestCost,
+		Costing: c,
+	}
+}
+
+// Optimize expands, costs, and solves the search space for q in one
+// shot over a private memo. For compatibility with annotation readers
+// (memo dumps, bare cost models) it also writes the classic Card and
+// LocalCost fields into its memo — which is safe here and only here,
+// because the memo is freshly built and unshared.
 func Optimize(q *algebra.Query, opts Options) (*Result, error) {
-	m, err := rules.BuildMemo(q, opts.Rules)
+	st, err := BuildStructure(q, opts.Rules)
 	if err != nil {
 		return nil, err
 	}
-	est := cost.NewEstimator(q, opts.Params)
-	model := cost.NewModel(est)
-	annotateCards(m, est)
-	if err := annotateLocalCosts(m, model); err != nil {
-		return nil, err
-	}
-
-	r := &Result{Query: q, Memo: m, Est: est, Model: model, winners: make(map[winnerKey]*winner)}
-	w, err := r.bestFor(m.Root, nil)
+	c, err := st.Cost(opts.Params, nil)
 	if err != nil {
 		return nil, err
 	}
-	if w == nil {
-		return nil, fmt.Errorf("opt: no plan found for root group")
-	}
-	r.Best = w.node
-	r.BestCost = w.cost
-	return r, nil
-}
-
-// annotateCards sets every group's estimated output cardinality. Cards
-// are properties of the group (relation subset plus operator layer), so
-// every alternative in a group shares them — the invariant the MEMO's
-// costing relies on.
-func annotateCards(m *memo.Memo, est *cost.Estimator) {
-	for _, g := range m.Groups {
-		switch g.Kind {
-		case memo.GroupScan:
-			g.Card = est.BaseCard(g.RelSet.Indices()[0])
-		case memo.GroupJoin:
-			g.Card = est.SetCard(g.RelSet)
-		case memo.GroupAgg:
-			g.Card = est.AggCard(est.SetCard(g.RelSet))
-		case memo.GroupRoot:
-			// The root projects its child without changing cardinality.
-			if m.Query.HasAgg() {
-				g.Card = est.AggCard(est.SetCard(g.RelSet))
-			} else {
-				g.Card = est.SetCard(g.RelSet)
-			}
-		}
-	}
-}
-
-// annotateLocalCosts fills each physical operator's LocalCost for display
-// and for the counting tools; plan costs are computed recursively by the
-// model, not by summing these.
-func annotateLocalCosts(m *memo.Memo, model *cost.Model) error {
-	for _, g := range m.Groups {
+	for _, g := range st.Memo.Groups {
+		g.Card = c.Tables.CardOf(g)
 		for _, e := range g.Physical {
-			lc, err := model.Local(e)
-			if err != nil {
-				return err
-			}
-			e.LocalCost = lc
+			e.LocalCost = c.Tables.Locals[e.ID]
 			e.LocalCostValid = true
 		}
 	}
-	return nil
+	return NewResult(st, c), nil
 }
 
-type winnerKey struct {
-	group int
-	ord   string
-	kind  uint8 // 0: any operator; 1: non-enforcers only
-}
-
-type winner struct {
-	node *plan.Node
-	cost float64
-}
-
-// bestFor returns the cheapest plan rooted in group g whose delivered
-// ordering satisfies req, or nil when no operator qualifies.
-func (r *Result) bestFor(g *memo.Group, req algebra.Ordering) (*winner, error) {
-	return r.search(g, req, false)
-}
-
-// bestNonEnforcer returns the cheapest plan rooted in a non-enforcer of
-// g with no ordering requirement — the input an enforcer sorts.
-func (r *Result) bestNonEnforcer(g *memo.Group) (*winner, error) {
-	return r.search(g, nil, true)
-}
-
-func (r *Result) search(g *memo.Group, req algebra.Ordering, nonEnforcersOnly bool) (*winner, error) {
-	kind := uint8(0)
-	if nonEnforcersOnly {
-		kind = 1
-	}
-	key := winnerKey{group: g.ID, ord: req.Key(), kind: kind}
-	if w, ok := r.winners[key]; ok {
-		return w, nil
-	}
-	var best *winner
-	for _, e := range g.Physical {
-		if nonEnforcersOnly && e.IsEnforcer() {
-			continue
-		}
-		if !e.Delivered.Satisfies(req) {
-			continue
-		}
-		var w *winner
-		var err error
-		if e.IsEnforcer() {
-			w, err = r.costEnforcer(e)
-		} else {
-			w, err = r.costExpr(e)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if w == nil {
-			continue
-		}
-		if best == nil || w.cost < best.cost {
-			best = w
-		}
-	}
-	r.winners[key] = best
-	return best, nil
-}
-
-func (r *Result) costEnforcer(e *memo.Expr) (*winner, error) {
-	in, err := r.bestNonEnforcer(e.Group)
-	if err != nil || in == nil {
-		return nil, err
-	}
-	total, err := r.Model.Combine(e, []float64{in.cost})
-	if err != nil {
-		return nil, err
-	}
-	return &winner{node: &plan.Node{Expr: e, Children: []*plan.Node{in.node}}, cost: total}, nil
-}
-
-func (r *Result) costExpr(e *memo.Expr) (*winner, error) {
-	childCosts := make([]float64, len(e.Children))
-	childNodes := make([]*plan.Node, len(e.Children))
-	for i, cg := range e.Children {
-		cw, err := r.bestFor(cg, plan.RequiredOf(e, i))
-		if err != nil {
-			return nil, err
-		}
-		if cw == nil {
-			return nil, nil // requirement unsatisfiable in this child
-		}
-		childCosts[i] = cw.cost
-		childNodes[i] = cw.node
-	}
-	total, err := r.Model.Combine(e, childCosts)
-	if err != nil {
-		return nil, err
-	}
-	if math.IsNaN(total) || math.IsInf(total, 0) {
-		return nil, fmt.Errorf("opt: non-finite cost for operator %s", e.Name())
-	}
-	return &winner{node: &plan.Node{Expr: e, Children: childNodes}, cost: total}, nil
-}
-
-// PlanCost costs an arbitrary plan from this result's space — the
-// primitive the cost-distribution experiments apply to every sampled
-// plan, normalizing by BestCost.
+// PlanCost costs an arbitrary plan from this result's space.
 func (r *Result) PlanCost(n *plan.Node) (float64, error) {
 	return n.Cost(r.Model)
 }
 
 // RetainedExprs simulates the paper's remark that "some optimizers by
-// default discard suboptimal expressions": it returns the set of
-// operators a pruning optimizer would retain — for every (group,
-// required ordering) context reachable from the root, only the winning
-// operator survives. Counting plans over this filtered MEMO quantifies
-// how much of the space pruning hides from testing (ablation E9).
+// default discard suboptimal expressions" (see Costing.RetainedExprs).
 func (r *Result) RetainedExprs() map[*memo.Expr]bool {
-	retained := make(map[*memo.Expr]bool)
-	type ctx struct {
-		g    *memo.Group
-		ord  string
-		kind uint8
-	}
-	seen := make(map[ctx]bool)
-	var visit func(g *memo.Group, req algebra.Ordering, nonEnf bool)
-	visit = func(g *memo.Group, req algebra.Ordering, nonEnf bool) {
-		kind := uint8(0)
-		if nonEnf {
-			kind = 1
-		}
-		c := ctx{g: g, ord: req.Key(), kind: kind}
-		if seen[c] {
-			return
-		}
-		seen[c] = true
-		w := r.winners[winnerKey{group: g.ID, ord: req.Key(), kind: kind}]
-		if w == nil {
-			return
-		}
-		e := w.node.Expr
-		retained[e] = true
-		if e.IsEnforcer() {
-			visit(e.Group, nil, true)
-			return
-		}
-		for i, cg := range e.Children {
-			visit(cg, plan.RequiredOf(e, i), false)
-		}
-	}
-	visit(r.Memo.Root, nil, false)
-	return retained
+	return r.Costing.RetainedExprs()
 }

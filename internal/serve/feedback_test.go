@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+func jsonUnmarshal(b []byte, v any) error { return json.Unmarshal(b, v) }
+
+// TestFeedbackApplyRoundTrip drives the adaptive loop over HTTP:
+// execute records observations, /feedback/apply folds them and bumps
+// the epoch, and the next request for the same query re-costs the
+// cached structure instead of re-preparing or serving the stale
+// costing.
+func TestFeedbackApplyRoundTrip(t *testing.T) {
+	srv, e := newTestServer(t)
+	h := srv.Handler()
+
+	var er ExecuteResponse
+	post(t, h, "/execute", ExecuteRequest{QueryRequest: QueryRequest{Query: "Q3"}, TimeoutMs: 20000},
+		http.StatusOK, &er)
+	if er.Truncated {
+		t.Fatalf("optimal Q3 truncated under default limits: %+v", er)
+	}
+	if st := e.Feedback().Snapshot(); st.Recorded == 0 {
+		t.Fatal("/execute recorded no observations")
+	}
+
+	var fr FeedbackApplyResponse
+	post(t, h, "/feedback/apply", struct{}{}, http.StatusOK, &fr)
+	if fr.Epoch != 1 || fr.Folded == 0 {
+		t.Fatalf("apply = %+v, want epoch 1 with folded corrections", fr)
+	}
+	if len(fr.Corrections) == 0 {
+		t.Error("apply reported no active corrections")
+	}
+
+	// Same query again: structure hit, overlay re-cost.
+	var er2 ExecuteResponse
+	post(t, h, "/execute", ExecuteRequest{QueryRequest: QueryRequest{Query: "Q3"}, TimeoutMs: 20000},
+		http.StatusOK, &er2)
+	if !er2.Cached {
+		t.Error("post-feedback /execute rebuilt the structure")
+	}
+	if er2.OverlayCached {
+		t.Error("post-feedback /execute served the stale overlay")
+	}
+	if er2.Fingerprint != er.Fingerprint {
+		t.Error("structure fingerprint changed across a feedback fold")
+	}
+	if er2.Digest != er.Digest {
+		t.Error("re-optimized execution changed the result digest")
+	}
+
+	// /stats reports the split byte accounting and the feedback state.
+	req := httptest.NewRequest(http.MethodGet, "/stats", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/stats: %d; %s", w.Code, w.Body)
+	}
+	body := w.Body.String()
+	for _, field := range []string{`"structure_bytes"`, `"overlay_bytes"`, `"feedback"`, `"overlays"`, `"catalog_schema_version"`, `"catalog_stats_version"`} {
+		if !contains(body, field) {
+			t.Errorf("/stats missing %s: %s", field, body)
+		}
+	}
+	var st StatsResponse
+	if err := jsonUnmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.StructureBytes <= 0 || st.OverlayBytes <= 0 {
+		t.Errorf("byte split = (%d, %d), want both positive", st.StructureBytes, st.OverlayBytes)
+	}
+	if st.Feedback.Epoch != 1 {
+		t.Errorf("feedback epoch in /stats = %d, want 1", st.Feedback.Epoch)
+	}
+	if st.Overlays.Misses < 2 {
+		t.Errorf("overlay misses = %d, want >= 2 (cold + post-feedback re-cost)", st.Overlays.Misses)
+	}
+}

@@ -18,7 +18,19 @@
 //	POST /explain       — EXPLAIN tree of the optimal plan or a numbered plan
 //	POST /execute       — run one plan (by rank / USEPLAN / optimal) under Governor limits
 //	POST /execute_batch — sample k plans and execute each under a per-plan budget
-//	GET  /stats         — cache hit/miss/eviction/bytes counters, uptime, request counts
+//	POST /feedback/apply — fold observed execution cardinalities into correction
+//	                      factors; invalidates cost overlays only (structures survive)
+//	GET  /stats         — both cache tiers' counters (structure_bytes / overlay_bytes),
+//	                      feedback-loop state, uptime, request counts
+//
+// The server fronts a two-tier cache: the structure tier (counted
+// spaces, keyed by canonical SQL + rules + schema) and the overlay tier
+// (costings, keyed additionally by cost params + statistics version +
+// feedback epoch). Executions record per-operator observed vs.
+// estimated cardinalities; POST /feedback/apply folds them and bumps
+// the feedback epoch, after which the same query may execute a
+// different, better-informed plan — the adaptive re-optimization loop
+// over HTTP.
 //
 // Execution endpoints are resource-governed: a server-side Governor
 // enforces wall-clock, output-row, and intermediate-row budgets on
@@ -44,6 +56,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/feedback"
 	"repro/internal/histogram"
 	"repro/internal/plan"
 )
@@ -93,11 +106,12 @@ const (
 	epExplain
 	epExecute
 	epExecuteBatch
+	epFeedbackApply
 	epStats
 	endpointCount
 )
 
-var endpointNames = [endpointCount]string{"prepare", "count", "unrank", "sample", "explain", "execute", "execute_batch", "stats"}
+var endpointNames = [endpointCount]string{"prepare", "count", "unrank", "sample", "explain", "execute", "execute_batch", "feedback_apply", "stats"}
 
 // New returns a server over e.
 func New(e *engine.Engine, opts ...Option) *Server {
@@ -112,6 +126,7 @@ func New(e *engine.Engine, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /explain", s.handleExplain)
 	s.mux.HandleFunc("POST /execute", s.handleExecute)
 	s.mux.HandleFunc("POST /execute_batch", s.handleExecuteBatch)
+	s.mux.HandleFunc("POST /feedback/apply", s.handleFeedbackApply)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
 }
@@ -196,20 +211,26 @@ func (s *Server) prepare(w http.ResponseWriter, q QueryRequest) (*engine.Prepare
 }
 
 // SpaceInfo describes a prepared space; every space-touching response
-// embeds it.
+// embeds it. cached reports a structure-cache hit (the counted space
+// was reused); overlay_cached a costing-cache hit — a cached=true,
+// overlay_cached=false response paid only a cheap re-cost (statistics
+// refresh, cost-parameter change, or feedback application since the
+// last request).
 type SpaceInfo struct {
-	Fingerprint string `json:"fingerprint"`
-	Count       string `json:"count"`
-	Arithmetic  string `json:"arithmetic"` // "uint64", "wide", or "big"
-	Cached      bool   `json:"cached"`
+	Fingerprint   string `json:"fingerprint"`
+	Count         string `json:"count"`
+	Arithmetic    string `json:"arithmetic"` // "uint64", "wide", or "big"
+	Cached        bool   `json:"cached"`
+	OverlayCached bool   `json:"overlay_cached"`
 }
 
 func spaceInfo(p *engine.Prepared) SpaceInfo {
 	return SpaceInfo{
-		Fingerprint: p.Fingerprint().String(),
-		Count:       p.Count().String(),
-		Arithmetic:  p.Space.Arithmetic(),
-		Cached:      p.Cached,
+		Fingerprint:   p.Fingerprint().String(),
+		Count:         p.Count().String(),
+		Arithmetic:    p.Space.Arithmetic(),
+		Cached:        p.Cached,
+		OverlayCached: p.OverlayCached,
 	}
 }
 
@@ -464,32 +485,44 @@ func sampleFast(p *engine.Prepared, smp *core.Sampler, ranks []string, costs []f
 	return nil
 }
 
-// sampleWide draws plans on the wide limb tier: each rank lands in a
-// reused limb buffer (Sampler.NextRankInto), unranks through one reused
-// arena, and renders its decimal string through the arena's limb
-// scratch — no math/big anywhere, no per-plan allocation beyond the
-// response strings.
+// sampleWide draws plans on the wide limb tier in flat batches: one
+// SampleRanksWideInto call fills a chunk × RankLimbs limb buffer, then
+// each row unranks through one reused arena and renders its decimal
+// string through the arena's limb scratch — no math/big anywhere, no
+// per-plan allocation beyond the response strings, and one sampler
+// call per chunk instead of per plan.
 func sampleWide(p *engine.Prepared, smp *core.Sampler, ranks []string, costs []float64, plans []string) error {
+	const chunk = 256
+	stride := p.Space.RankLimbs()
+	raw := make([]uint64, chunk*stride)
 	var arena core.Arena
 	var dec core.WideArena
 	var costBuf plan.CostBuf
-	buf := make([]uint64, p.Space.RankLimbs())
 	decBuf := make([]byte, 0, 64)
-	for i := range ranks {
-		rk := smp.NextRankInto(buf)
-		pl, err := p.Space.UnrankWideInto(rk, &arena)
-		if err != nil {
+	for off := 0; off < len(ranks); off += chunk {
+		n := len(ranks) - off
+		if n > chunk {
+			n = chunk
+		}
+		if err := smp.SampleRanksWideInto(raw, n); err != nil {
 			return err
 		}
-		sc, err := p.ScaledCostWith(pl, &costBuf)
-		if err != nil {
-			return err
-		}
-		costs[i] = sc
-		dec.Reset()
-		ranks[i] = string(core.AppendWideDecimal(decBuf[:0], rk, &dec))
-		if plans != nil {
-			plans[i] = pl.String()
+		for i := 0; i < n; i++ {
+			rk := core.WideNorm(raw[i*stride : (i+1)*stride])
+			pl, err := p.Space.UnrankWideInto(rk, &arena)
+			if err != nil {
+				return err
+			}
+			sc, err := p.ScaledCostWith(pl, &costBuf)
+			if err != nil {
+				return err
+			}
+			costs[off+i] = sc
+			dec.Reset()
+			ranks[off+i] = string(core.AppendWideDecimal(decBuf[:0], rk, &dec))
+			if plans != nil {
+				plans[off+i] = pl.String()
+			}
 		}
 	}
 	return nil
@@ -586,15 +619,50 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// StatsResponse reports service health: cache effectiveness, request
-// counts, and the catalog version the cache is keyed on.
+// FeedbackApplyResponse reports one fold of recorded execution
+// observations into active correction factors.
+type FeedbackApplyResponse struct {
+	Epoch       uint64                `json:"epoch"`       // new feedback epoch
+	Folded      int                   `json:"folded"`      // correction keys updated by this fold
+	Corrections []feedback.Correction `json:"corrections"` // all active factors, sorted by key
+	Invalidated uint64                `json:"invalidated"` // overlay-cache entries dropped so far
+}
+
+// handleFeedbackApply folds all observations recorded by /execute and
+// /execute_batch since the last fold into active cardinality correction
+// factors and bumps the feedback epoch. Only cost overlays are
+// invalidated — every counted structure stays cached — so the next
+// /execute of an affected query re-costs in place, may select a
+// different (better-informed) optimal rank, and runs that plan.
+func (s *Server) handleFeedbackApply(w http.ResponseWriter, r *http.Request) {
+	s.reqs[epFeedbackApply].Add(1)
+	folded, epoch := s.engine.ApplyFeedback()
+	writeJSON(w, FeedbackApplyResponse{
+		Epoch:       epoch,
+		Folded:      folded,
+		Corrections: s.engine.Feedback().Corrections(),
+		Invalidated: s.engine.Overlays().Stats().Invalidations,
+	})
+}
+
+// StatsResponse reports service health: both cache tiers' effectiveness
+// and resident bytes (structure_bytes prices counted spaces,
+// overlay_bytes the cost overlays — disjoint by construction, so they
+// add up), the feedback loop's counters, request counts, and the
+// catalog versions the tiers are keyed on.
 type StatsResponse struct {
-	UptimeSeconds  float64           `json:"uptime_seconds"`
-	Cache          engine.CacheStats `json:"cache"`
-	Requests       map[string]uint64 `json:"requests"`
-	Errors         uint64            `json:"errors"`
-	CatalogID      uint64            `json:"catalog_id"`
-	CatalogVersion uint64            `json:"catalog_version"`
+	UptimeSeconds  float64                  `json:"uptime_seconds"`
+	Cache          engine.CacheStats        `json:"cache"`
+	Overlays       engine.OverlayCacheStats `json:"overlays"`
+	StructureBytes int64                    `json:"structure_bytes"`
+	OverlayBytes   int64                    `json:"overlay_bytes"`
+	Feedback       feedback.Stats           `json:"feedback"`
+	Requests       map[string]uint64        `json:"requests"`
+	Errors         uint64                   `json:"errors"`
+	CatalogID      uint64                   `json:"catalog_id"`
+	CatalogVersion uint64                   `json:"catalog_version"`
+	SchemaVersion  uint64                   `json:"catalog_schema_version"`
+	StatsVersion   uint64                   `json:"catalog_stats_version"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -604,13 +672,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		reqs[endpointNames[i]] = s.reqs[i].Load()
 	}
 	cat := s.engine.DB().Catalog()
+	cache := s.engine.Cache().Stats()
+	overlays := s.engine.Overlays().Stats()
 	writeJSON(w, StatsResponse{
 		UptimeSeconds:  time.Since(s.start).Seconds(),
-		Cache:          s.engine.Cache().Stats(),
+		Cache:          cache,
+		Overlays:       overlays,
+		StructureBytes: cache.BytesCached,
+		OverlayBytes:   overlays.BytesCached,
+		Feedback:       s.engine.Feedback().Snapshot(),
 		Requests:       reqs,
 		Errors:         s.errCount.Load(),
 		CatalogID:      cat.ID(),
 		CatalogVersion: cat.Version(),
+		SchemaVersion:  cat.SchemaVersion(),
+		StatsVersion:   cat.StatsVersion(),
 	})
 }
 

@@ -133,8 +133,9 @@ func (db *DB) ComputeStats() error {
 		}
 	}
 	// Fresh statistics change what the optimizer would choose, so any
-	// plan space counted against the old stats is stale.
-	db.cat.BumpVersion()
+	// cost overlay derived from the old stats is stale — the counted
+	// structure itself (which depends only on schema and rules) survives.
+	db.cat.BumpStats()
 	return nil
 }
 

@@ -21,7 +21,7 @@ OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT
 
 echo "bench_diff: running benchmark matrix (benchtime=$BENCHTIME count=$COUNT)" >&2
-go test -run '^$' -bench '^(BenchmarkUnrank|BenchmarkSample)$' \
+go test -run '^$' -bench '^(BenchmarkUnrank|BenchmarkSample|BenchmarkRecost)$' \
 	-benchtime "$BENCHTIME" -count "$COUNT" . | tee "$OUT"
 
 python3 - "$OUT" "$TOLERANCE" <<'PYEOF'
@@ -29,7 +29,7 @@ import json, re, statistics, sys
 
 out_path, tolerance = sys.argv[1], float(sys.argv[2])
 rows = {}
-pat = re.compile(r'^(Benchmark(?:Unrank|Sample)/\S+?)-\d+\s+\d+\s+([\d.]+) ns/op')
+pat = re.compile(r'^(Benchmark(?:Unrank|Sample|Recost)/\S+?)-\d+\s+\d+\s+([\d.]+) ns/op')
 for line in open(out_path):
     m = pat.match(line)
     if m:
@@ -45,18 +45,23 @@ def speedup(kind, query, fast_tier):
         return None
     return slow / fast
 
-fresh = {"unrank": {}, "sample": {}}
+fresh = {"unrank": {}, "sample": {}, "recost": {}}
 for q in ("Q5", "Q8", "Q9"):
     fresh["unrank"][q] = speedup("Unrank", q, "uint64")
     fresh["sample"][q] = speedup("Sample", q, "uint64")
 fresh["unrank"]["Q8cross"] = speedup("Unrank", "Q8cross", "wide")
 fresh["sample"]["Q8cross"] = speedup("Sample", "Q8cross", "wide")
+# Overlay re-cost vs cold Prepare (the two-tier cache's promise).
+cold = med.get("BenchmarkRecost/Q9/coldprepare")
+recost = med.get("BenchmarkRecost/Q9/recost")
+if cold is not None and recost:
+    fresh["recost"]["Q9"] = cold / recost
 
 recorded = json.load(open("BENCH_core.json"))["speedup"]
 failed = []
 print(f"\nbench_diff: speedup comparison (fail below {tolerance:.0%} of recorded)")
 print(f"{'row':28} {'recorded':>9} {'fresh':>9} {'ratio':>7}")
-for kind in ("unrank", "sample"):
+for kind in ("unrank", "sample", "recost"):
     for q, want in sorted(recorded.get(kind, {}).items()):
         got = fresh.get(kind, {}).get(q)
         if got is None:

@@ -57,6 +57,27 @@ for p in resp["plans"]:
 print("smoke: execute_batch ok,", len(resp["plans"]), "plans verified")
 PY
 
+# Adaptive feedback round-trip: execute records observed cardinalities,
+# /feedback/apply folds them (bumping the feedback epoch), and the next
+# execute of the same query must re-cost the cached structure — not
+# re-prepare it, not serve the stale costing — and still produce the
+# same result.
+ex1=$(post /execute '{"query":"Q3","timeout_ms":20000}')
+fb=$(post /feedback/apply '{}')
+ex2=$(post /execute '{"query":"Q3","timeout_ms":20000}')
+python3 - "$ex1" "$fb" "$ex2" <<'PY'
+import json, sys
+ex1, fb, ex2 = (json.loads(a) for a in sys.argv[1:4])
+assert not ex1["truncated"], f"pre-feedback execute truncated: {ex1}"
+assert fb["epoch"] >= 1, f"feedback apply did not bump the epoch: {fb}"
+assert fb["folded"] > 0, f"feedback apply folded no corrections: {fb}"
+assert ex2["cached"], f"post-feedback execute rebuilt the structure: {ex2}"
+assert not ex2["overlay_cached"], f"post-feedback execute served a stale costing: {ex2}"
+assert ex2["fingerprint"] == ex1["fingerprint"], "structure fingerprint changed across feedback"
+assert ex2["digest"] == ex1["digest"], "re-optimized plan changed the result"
+print("smoke: feedback round-trip ok: epoch", fb["epoch"], "with", fb["folded"], "corrections folded")
+PY
+
 killed=$(post /execute '{"sql":"SELECT COUNT(l_orderkey) AS n FROM lineitem, orders, customer","cross":true,"max_intermediate_rows":50000}')
 python3 - "$killed" <<'PY'
 import json, sys
@@ -68,6 +89,9 @@ PY
 
 stats=$(curl -sf "http://$ADDR/stats")
 echo "$stats" | grep -q '"bytes_cached"' || { echo "FAIL: stats missing bytes_cached: $stats"; exit 1; }
+echo "$stats" | grep -q '"structure_bytes"' || { echo "FAIL: stats missing structure_bytes: $stats"; exit 1; }
+echo "$stats" | grep -q '"overlay_bytes"' || { echo "FAIL: stats missing overlay_bytes: $stats"; exit 1; }
+echo "$stats" | grep -q '"feedback"' || { echo "FAIL: stats missing feedback block: $stats"; exit 1; }
 echo "smoke: stats ok"
 
 echo "planserved smoke OK"
